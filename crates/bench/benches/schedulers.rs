@@ -1,0 +1,57 @@
+//! Scheduler-throughput benches: time to produce the Table-1 schedules
+//! (the paper's tool ran "within seconds"; these quantify ours). One
+//! bench per (design, mode) pair used by Table 1 and Figs. 5–7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wavesched::{schedule, Mode, SchedConfig};
+
+fn bench_table1_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for w in workloads::all() {
+        for mode in [Mode::NonSpeculative, Mode::Speculative] {
+            let mut cfg = SchedConfig::new(mode);
+            cfg.max_spec_depth = w.spec_depth;
+            group.bench_function(format!("{}/{mode}", w.name), |b| {
+                b.iter(|| {
+                    let r = schedule(
+                        black_box(&w.cdfg),
+                        &w.library,
+                        &w.allocation,
+                        &Default::default(),
+                        &cfg,
+                    )
+                    .expect("schedules");
+                    black_box(r.stg.working_state_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig5_schedules(c: &mut Criterion) {
+    let w = workloads::fig4();
+    let mut group = c.benchmark_group("fig5");
+    for (tag, adders) in [("one_adder", 1u32), ("two_adders", 2)] {
+        group.bench_function(tag, |b| {
+            b.iter(|| {
+                schedule(
+                    black_box(&w.cdfg),
+                    &w.library,
+                    &workloads::fig4_allocation(adders),
+                    &Default::default(),
+                    &SchedConfig::new(Mode::Speculative),
+                )
+                .expect("schedules")
+                .stats
+                .issues
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_schedulers, bench_fig5_schedules);
+criterion_main!(benches);

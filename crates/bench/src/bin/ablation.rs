@@ -1,0 +1,72 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * **speculation depth** — how many unresolved conditions an operation
+//!   may be speculated across. The Fig. 2(b) pipeline holds ~8 loop
+//!   iterations in flight, so Test1's throughput keeps improving until
+//!   the depth covers them and saturates after;
+//! * **version cap** — how many simultaneous operand-variant executions
+//!   of one instance are allowed (Example 6's `op7′`/`op7″`).
+
+use hls_sim::{measure, profile};
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+fn main() {
+    depth_ablation();
+    version_ablation();
+}
+
+fn depth_ablation() {
+    let w = workloads::test1();
+    let vectors = w.vectors(20);
+    let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
+    let probs = profile(&w.cdfg, &vectors, &mem);
+    println!("Ablation 1 — speculation depth vs Test1 expected cycles\n");
+    println!("{:>6}  {:>8}  {:>8}  {:>7}", "depth", "E.N.C.", "#states", "issues");
+    for depth in [1usize, 2, 3, 4, 6, 9, 12] {
+        let mut cfg = SchedConfig::new(Mode::Speculative);
+        cfg.max_spec_depth = depth;
+        match schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg) {
+            Ok(r) => {
+                let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+                println!(
+                    "{depth:>6}  {:>8.1}  {:>8}  {:>7}",
+                    m.mean_cycles,
+                    r.stg.working_state_count(),
+                    r.stats.issues
+                );
+            }
+            Err(e) => println!("{depth:>6}  failed: {e}"),
+        }
+    }
+    println!("\n(depth 1 ≈ the non-speculative recurrence; gains saturate once the");
+    println!("depth covers the ~8-stage iteration pipeline of Fig. 2(b))\n");
+}
+
+fn version_ablation() {
+    let w = workloads::gcd();
+    let vectors = w.vectors(30);
+    let mem: HashMap<String, Vec<i64>> = HashMap::new();
+    let probs = profile(&w.cdfg, &vectors, &mem);
+    println!("Ablation 2 — version cap vs GCD expected cycles\n");
+    println!("{:>9}  {:>8}  {:>8}", "versions", "E.N.C.", "#states");
+    for cap in [1usize, 2, 3, 4] {
+        let mut cfg = SchedConfig::new(Mode::Speculative);
+        cfg.max_versions = cap;
+        match schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg) {
+            Ok(r) => {
+                let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+                println!(
+                    "{cap:>9}  {:>8.1}  {:>8}",
+                    m.mean_cycles,
+                    r.stg.working_state_count()
+                );
+            }
+            Err(e) => println!("{cap:>9}  failed: {e}"),
+        }
+    }
+    println!("\n(measured: GCD is insensitive to the cap — branch alternatives live");
+    println!("in per-iteration register copies, and a dropped alternative regenerates");
+    println!("right after its condition resolves, at no cycle cost on this design;");
+    println!("the cap exists to bound version fan-out on wider branch nests)");
+}

@@ -1,0 +1,42 @@
+//! Regenerates the Sec. 5 area experiment: RTL area of the GCD design
+//! scheduled by Wavesched vs Wavesched-spec (the paper reports a 3.1%
+//! overhead for the speculative schedule after MSU-library mapping).
+
+use spec_bench::run_workload;
+use wavesched::Mode;
+
+fn main() {
+    let w = workloads::gcd();
+    println!("Sec. 5 area experiment — GCD RTL, gate equivalents\n");
+    let mut totals = Vec::new();
+    for (tag, mode) in [("Wavesched", Mode::NonSpeculative), ("Wavesched-spec", Mode::Speculative)] {
+        let r = run_workload(&w, mode, 20);
+        let d = rtl_synth::synthesize(&w.cdfg, &r.sched.stg);
+        let a = rtl_synth::area(&d, &w.library);
+        println!("=== {tag} ===");
+        println!(
+            "  units: {}",
+            d.fus
+                .iter()
+                .map(|(n, (_, k))| format!("{n} x{k}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
+            "  registers: {}   mux inputs: {}   states: {}   transitions: {}   transfers: {}",
+            d.registers, d.mux_inputs, d.states, d.transitions, d.transfer_moves
+        );
+        println!(
+            "  area: FU {:.0} + regs {:.0} + mux {:.0} + ctrl {:.0} = {:.0}\n",
+            a.fu_area,
+            a.reg_area,
+            a.mux_area,
+            a.ctrl_area,
+            a.total()
+        );
+        totals.push(a.total());
+    }
+    let overhead = (totals[1] - totals[0]) / totals[0] * 100.0;
+    println!("speculative-schedule area overhead: {overhead:+.1}%");
+    println!("(the paper reports +3.1% for its GCD RTL after MSU technology mapping)");
+}

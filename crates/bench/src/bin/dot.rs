@@ -1,0 +1,40 @@
+//! Graphviz export tool: prints the CDFG and/or scheduled STG of a named
+//! workload as DOT digraphs (the renderings behind the paper's Figs. 1,
+//! 2, 4, 5, 13, 14).
+//!
+//! Usage: `cargo run -p spec-bench --bin dot -- <workload> [cdfg|stg] [ws|spec|single]`
+//! where `<workload>` is one of `Barcode GCD Test1 TLC Findmin Fig4 DspClip`.
+
+use wavesched::{schedule, Mode, SchedConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("GCD");
+    let what = args.get(2).map(String::as_str).unwrap_or("stg");
+    let mode = match args.get(3).map(String::as_str) {
+        Some("ws") => Mode::NonSpeculative,
+        Some("single") => Mode::SinglePath,
+        _ => Mode::Speculative,
+    };
+    let w = workloads::all()
+        .into_iter()
+        .chain([workloads::fig4(), workloads::dsp_clip()])
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin Fig4 DspClip");
+            std::process::exit(2);
+        });
+    match what {
+        "cdfg" => print!("{}", w.cdfg.to_dot()),
+        _ => {
+            let mut cfg = SchedConfig::new(mode);
+            cfg.max_spec_depth = w.spec_depth;
+            let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
+                .unwrap_or_else(|e| {
+                    eprintln!("scheduling failed: {e}");
+                    std::process::exit(1);
+                });
+            print!("{}", r.stg.to_dot(&w.cdfg));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Fig. 5 of the paper: three speculative schedules of the
+//! Fig. 4 CDFG derived under different resource constraints and branch
+//! probabilities — (a) one adder, false branch more likely; (b) one
+//! adder, true branch more likely; (c) two adders.
+
+use cdfg::analysis::BranchProbs;
+use wavesched::{schedule, Mode, SchedConfig};
+
+/// The fig4 branch condition (`x > 2`).
+pub fn fig4_cond(g: &cdfg::Cdfg) -> cdfg::OpId {
+    g.ops()
+        .iter()
+        .find(|o| o.kind() == cdfg::OpKind::Gt)
+        .expect("fig4 has the comparison")
+        .id()
+}
+
+fn main() {
+    let w = workloads::fig4();
+    let cond = fig4_cond(&w.cdfg);
+    let settings = [
+        ("(a) 1 adder, P(c1) = 0.2 (false path favored)", 1u32, 0.2),
+        ("(b) 1 adder, P(c1) = 0.8 (true path favored)", 1, 0.8),
+        ("(c) 2 adders, P(c1) = 0.8", 2, 0.8),
+    ];
+    println!("Fig. 5 — speculative schedules of the Fig. 4 CDFG\n");
+    for (tag, adders, p) in settings {
+        let mut probs = BranchProbs::new();
+        probs.set(cond, p);
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &workloads::fig4_allocation(adders),
+            &probs,
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .expect("fig4 schedules");
+        println!("=== {tag} ===");
+        println!("{}", stg::render_text(&r.stg, &w.cdfg));
+    }
+}

@@ -1,0 +1,42 @@
+//! Quick per-workload probe: schedule one benchmark in one mode and
+//! print its headline numbers. Handy for iterating on scheduler changes
+//! without running the full Table-1 harness.
+//!
+//! Usage: `cargo run --release -p spec-bench --bin probe -- <workload> <ws|single|spec> [runs]`
+
+use wavesched::Mode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("GCD");
+    let mode = match args.get(2).map(String::as_str) {
+        Some("ws") => Mode::NonSpeculative,
+        Some("single") => Mode::SinglePath,
+        _ => Mode::Speculative,
+    };
+    let runs = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10usize);
+    let w = workloads::all()
+        .into_iter()
+        .chain([workloads::fig4(), workloads::dsp_clip()])
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin Fig4 DspClip");
+            std::process::exit(2);
+        });
+    let t = std::time::Instant::now();
+    let r = spec_bench::run_workload(&w, mode, runs);
+    println!(
+        "{} {mode}: enc={:.1} states={} best={} worst={} issues={} folds={} ({:?})",
+        w.name,
+        r.meas.mean_cycles,
+        r.sched.stg.working_state_count(),
+        r.meas.best_cycles,
+        r.meas.worst_cycles,
+        r.sched.stats.issues,
+        r.sched.stats.folds,
+        t.elapsed()
+    );
+}

@@ -1,0 +1,94 @@
+//! Regenerates Table 1 of the paper: expected number of cycles, number
+//! of STG states, and best-/worst-case cycles for the five benchmark
+//! designs under Wavesched (WS) and Wavesched-spec (WS-spec), plus the
+//! Table 2 allocation listing (`--allocations`) and the average speedup
+//! the paper headlines.
+
+use spec_bench::{geomean, render_table, run_workload, TRACE_RUNS};
+use wavesched::Mode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--allocations") {
+        print_allocations();
+        return;
+    }
+    let runs = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(TRACE_RUNS);
+
+    println!("Table 1 — E.N.C., #states, best- and worst-case cycles");
+    println!("(WS = Wavesched baseline, WS-spec = speculative; {runs} Gaussian traces per design)\n");
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for w in workloads::all() {
+        let ws = run_workload(&w, Mode::NonSpeculative, runs);
+        let sp = run_workload(&w, Mode::Speculative, runs);
+        let speedup = ws.meas.mean_cycles / sp.meas.mean_cycles;
+        speedups.push(speedup);
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}", ws.meas.mean_cycles),
+            format!("{:.1}", sp.meas.mean_cycles),
+            ws.sched.stg.working_state_count().to_string(),
+            sp.sched.stg.working_state_count().to_string(),
+            ws.meas.best_cycles.to_string(),
+            sp.meas.best_cycles.to_string(),
+            ws.meas.worst_cycles.to_string(),
+            sp.meas.worst_cycles.to_string(),
+            format!("{:.2}x", speedup),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Circuit", "ENC(WS)", "ENC(spec)", "#st(WS)", "#st(spec)", "best(WS)",
+                "best(spec)", "worst(WS)", "worst(spec)", "speedup"
+            ],
+            &rows
+        )
+    );
+    let arith = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "Average E.N.C. speedup of WS-spec over WS: {arith:.2}x arithmetic, {:.2}x geometric",
+        geomean(&speedups)
+    );
+    println!("(the paper reports a 2.8x average — arithmetic over the same five designs)");
+}
+
+fn print_allocations() {
+    println!("Table 2 — allocation constraints (units per class)\n");
+    let classes = [
+        hls_resources::FuClass::Adder,
+        hls_resources::FuClass::Subtracter,
+        hls_resources::FuClass::Multiplier,
+        hls_resources::FuClass::Comparator,
+        hls_resources::FuClass::EqComparator,
+        hls_resources::FuClass::Incrementer,
+    ];
+    let mut rows = Vec::new();
+    for w in workloads::all() {
+        let mut row = vec![w.name.to_string()];
+        for c in classes {
+            let cell = match w.allocation.limit(c) {
+                hls_resources::Limit::Finite(0) => "-".to_string(),
+                hls_resources::Limit::Finite(n) => n.to_string(),
+                hls_resources::Limit::Unlimited => "inf".to_string(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Circuit", "add1", "sub1", "mult1", "comp1", "eqc1", "inc1"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,141 @@
+//! Shared experiment machinery for the DAC'98 reproduction harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the experiment index); this library holds
+//! the common pipeline: profile → schedule → simulate → report.
+
+use cdfg::analysis::BranchProbs;
+use hls_sim::{measure, profile, Measurement};
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig, ScheduleResult};
+use workloads::Workload;
+
+/// Everything measured for one (workload, scheduling mode) pair.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The workload name.
+    pub name: &'static str,
+    /// Scheduling mode used.
+    pub mode: Mode,
+    /// Scheduler output.
+    pub sched: ScheduleResult,
+    /// Simulated metrics over the trace set.
+    pub meas: Measurement,
+    /// Analytic expected cycles from the STG Markov chain, when defined.
+    pub analytic: Option<f64>,
+    /// Static best case (shortest start→STOP path).
+    pub static_best: Option<u64>,
+    /// Profiled branch probabilities used for scheduling.
+    pub probs: BranchProbs,
+}
+
+/// Number of trace vectors used per measurement (the paper does not
+/// state its count; 50 keeps sampling noise ≲ a few percent at GCD's
+/// variance).
+pub const TRACE_RUNS: usize = 50;
+
+/// Full pipeline for one workload and mode: profile the golden model
+/// over the trace set, schedule with the profiled probabilities, then
+/// simulate the same traces with functional checking.
+///
+/// # Panics
+///
+/// Panics if scheduling fails or any simulation mismatches the golden
+/// model — experiments must not silently ship broken schedules.
+pub fn run_workload(w: &Workload, mode: Mode, runs: usize) -> RunResult {
+    let vectors = w.vectors(runs);
+    let mem_init: HashMap<String, Vec<i64>> = w.mem_init.clone();
+    let probs = profile(&w.cdfg, &vectors, &mem_init);
+    let mut cfg = SchedConfig::new(mode);
+    cfg.max_spec_depth = w.spec_depth;
+    let sched = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
+        .unwrap_or_else(|e| panic!("{} / {mode}: scheduling failed: {e}", w.name));
+    let meas = measure(
+        &w.cdfg,
+        &sched.stg,
+        &vectors,
+        &mem_init,
+        Some(&w.program),
+        w.cycle_limit,
+    );
+    assert_eq!(
+        meas.mismatches, 0,
+        "{} / {mode}: schedule is functionally wrong",
+        w.name
+    );
+    let analytic = hls_sim::markov::expected_cycles(&sched.stg, &probs);
+    let static_best = sched.stg.best_case_cycles();
+    RunResult {
+        name: w.name,
+        mode,
+        meas,
+        analytic,
+        static_best,
+        probs,
+        sched,
+    }
+}
+
+/// Renders a row-aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Geometric mean of speedups.
+pub fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["a", "long"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("a"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_pipeline_smoke() {
+        let w = workloads::gcd();
+        let r = run_workload(&w, Mode::Speculative, 5);
+        assert_eq!(r.meas.mismatches, 0);
+        assert!(r.meas.mean_cycles > 0.0);
+    }
+}

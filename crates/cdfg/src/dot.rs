@@ -1,0 +1,140 @@
+//! Graphviz DOT export for CDFGs, in the visual style of the paper's
+//! figures: solid lines for data dependencies, dashed lines for control
+//! dependencies, dotted lines for loop-carried edges (with their initial
+//! values in parentheses, as in Fig. 1).
+
+use crate::{Cdfg, OpKind, PortKind};
+use std::fmt::Write as _;
+
+impl Cdfg {
+    /// Renders the CDFG as a Graphviz DOT digraph.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cdfg::{CdfgBuilder, OpKind, Src};
+    /// let mut b = CdfgBuilder::new("d");
+    /// let a = b.input("a");
+    /// let x = b.op(OpKind::Inc, &[Src::Op(a)]);
+    /// b.output("o", Src::Op(x));
+    /// let g = b.finish().unwrap();
+    /// let dot = g.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("++1"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=TB;");
+        for op in self.ops() {
+            let shape = match op.kind() {
+                OpKind::Const(_) | OpKind::Input(_) => "plaintext",
+                OpKind::Output(_) => "invhouse",
+                OpKind::Select => "trapezium",
+                OpKind::MemRead(_) | OpKind::MemWrite(_) => "box3d",
+                k if k.is_condition_producer() => "diamond",
+                _ => "circle",
+            };
+            let _ = writeln!(
+                s,
+                "  n{} [label=\"{}\", shape={}];",
+                op.id().index(),
+                op.name().replace('"', "'"),
+                shape
+            );
+        }
+        for op in self.ops() {
+            for (port, p) in op.ports().iter().enumerate() {
+                match *p {
+                    PortKind::Wire(src) => {
+                        let _ = writeln!(
+                            s,
+                            "  n{} -> n{} [label=\"{}\"];",
+                            src.index(),
+                            op.id().index(),
+                            port
+                        );
+                    }
+                    PortKind::Carried { src, init, .. } => {
+                        let init_name = self.op(init).name().replace('"', "'");
+                        let _ = writeln!(
+                            s,
+                            "  n{} -> n{} [style=dotted, label=\"{} ({})\"];",
+                            src.index(),
+                            op.id().index(),
+                            port,
+                            init_name
+                        );
+                    }
+                    PortKind::Exit { src, init, .. } => {
+                        let init_name = self.op(init).name().replace('"', "'");
+                        let _ = writeln!(
+                            s,
+                            "  n{} -> n{} [style=bold, color=darkgreen, label=\"exit {} ({})\"];",
+                            src.index(),
+                            op.id().index(),
+                            port,
+                            init_name
+                        );
+                    }
+                }
+            }
+            for p in op.order_deps() {
+                let src = p.src();
+                let style = match p {
+                    PortKind::Wire(_) => "dashed",
+                    PortKind::Carried { .. } | PortKind::Exit { .. } => "dotted",
+                };
+                let _ = writeln!(
+                    s,
+                    "  n{} -> n{} [style={}, color=gray, label=\"ord\"];",
+                    src.index(),
+                    op.id().index(),
+                    style
+                );
+            }
+            for d in op.ctrl_deps() {
+                let pol = if d.polarity { "c" } else { "!c" };
+                let _ = writeln!(
+                    s,
+                    "  n{} -> n{} [style=dashed, color=blue, label=\"{}\"];",
+                    d.cond.index(),
+                    op.id().index(),
+                    pol
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CdfgBuilder, OpKind, Src};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edge_styles() {
+        let mut b = CdfgBuilder::new("dot");
+        let n = b.input("n");
+        let zero = b.constant(0);
+        b.begin_loop();
+        let i = b.carried(zero);
+        let c = b.op(OpKind::Lt, &[Src::Carried(i), Src::Op(n)]);
+        b.loop_condition(c);
+        let i1 = b.op(OpKind::Inc, &[Src::Carried(i)]);
+        b.set_carried(i, i1);
+        b.end_loop();
+        let e = b.exit_value(i);
+        b.output("o", Src::Op(e));
+        let g = b.finish().unwrap();
+        let dot = g.to_dot();
+        for op in g.ops() {
+            assert!(dot.contains(&format!("n{}", op.id().index())));
+        }
+        assert!(dot.contains("style=dotted"), "carried edge rendered");
+        assert!(dot.contains("style=dashed, color=blue"), "ctrl dep rendered");
+        assert!(dot.contains("diamond"), "comparison shaped as diamond");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Control-data flow graph (CDFG) intermediate representation for
+//! control-flow intensive behavioral descriptions.
+//!
+//! This is the input representation used by the Wavesched / Wavesched-spec
+//! schedulers (Lakshminarayana, Raghunathan, Jha, DAC 1998). A [`Cdfg`]
+//! contains:
+//!
+//! * **operation nodes** ([`Op`], [`OpKind`]) — arithmetic, comparison,
+//!   logic, shift, select (multiplexer), memory access, constant, primary
+//!   input, and primary output operations;
+//! * **data edges** — each operation input port names its producer, either
+//!   in the same loop iteration ([`PortKind::Wire`]) or in the previous
+//!   iteration of an enclosing loop ([`PortKind::Carried`], the dotted
+//!   "initial value in parentheses" edges of Fig. 1 of the paper);
+//! * **control dependencies** ([`CtrlDep`]) — from a conditional operation
+//!   to the operations in its branches, to the body of a `while` loop
+//!   (gated on the continue condition being true), or to the code after a
+//!   loop (gated on it being false);
+//! * **loop structure** ([`LoopInfo`]) — arbitrarily nested data-dependent
+//!   loops, each with an explicit continue-condition operation.
+//!
+//! CDFGs are constructed with the structured [`CdfgBuilder`], which manages
+//! loop/branch scopes, loop-carried variables, and memory access ordering,
+//! and validates the result. Analyses used by the schedulers (intra-
+//! iteration topological order, the expected-longest-path metric λ of
+//! Eq. (5), condition cones) live in [`analysis`].
+//!
+//! # Example
+//!
+//! Building a simplified version of the paper's Figure 1 loop
+//! `while (k > t4) { i++; t4 = f(M1[i]); M2[i] = t4; }`:
+//!
+//! ```
+//! use cdfg::{CdfgBuilder, OpKind, Src};
+//!
+//! let mut b = CdfgBuilder::new("test1");
+//! let k = b.input("k");
+//! let zero = b.constant(0);
+//! let m1 = b.mem("M1", 16);
+//! let m2 = b.mem("M2", 16);
+//! b.begin_loop();
+//! let i = b.carried(zero);        // i, initially 0
+//! let t4 = b.carried(zero);       // t4, initially 0
+//! let cond = b.op(OpKind::Gt, &[Src::Op(k), Src::Carried(t4)]);
+//! b.loop_condition(cond);
+//! let i1 = b.op(OpKind::Inc, &[Src::Carried(i)]);
+//! b.set_carried(i, i1);
+//! let t1 = b.mem_read(m1, Src::Op(i1));
+//! let t4_new = b.op(OpKind::Add, &[Src::Op(t1), Src::Op(t1)]);
+//! b.set_carried(t4, t4_new);
+//! b.mem_write(m2, Src::Op(i1), Src::Op(t4_new));
+//! b.end_loop();
+//! let g = b.finish().expect("well-formed CDFG");
+//! assert_eq!(g.loops().len(), 1);
+//! assert!(g.op(cond).is_conditional());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod build;
+mod dot;
+mod graph;
+mod op;
+
+pub use build::{CarriedId, CdfgBuilder, Src};
+pub use graph::{Cdfg, CdfgError, CtrlDep, CtrlKind, LoopInfo, MemInfo, Op, PortKind};
+pub use op::{OpKind, Value};
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an operation node in a [`Cdfg`].
+    OpId,
+    "op"
+);
+id_type!(
+    /// Identifier of a loop region in a [`Cdfg`].
+    LoopId,
+    "loop"
+);
+id_type!(
+    /// Identifier of a memory (array) in a [`Cdfg`].
+    MemId,
+    "mem"
+);
+id_type!(
+    /// Identifier of a primary input.
+    InputId,
+    "in"
+);
+id_type!(
+    /// Identifier of a primary output.
+    OutputId,
+    "out"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(OpId::new(3).to_string(), "op3");
+        assert_eq!(LoopId::new(0).to_string(), "loop0");
+        assert_eq!(MemId::new(1).to_string(), "mem1");
+    }
+
+    #[test]
+    fn id_ordering() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(OpId::new(5).index(), 5);
+    }
+}

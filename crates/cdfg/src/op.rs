@@ -1,0 +1,310 @@
+//! Operation kinds and their evaluation semantics.
+
+use crate::{InputId, MemId, OutputId};
+use std::fmt;
+
+/// The value domain of the CDFG: 64-bit two's-complement integers with
+/// wrapping arithmetic. Booleans are encoded as 0 / 1, matching the
+/// paper's condition variables.
+pub type Value = i64;
+
+/// The kind of a CDFG operation node.
+///
+/// The set mirrors the functional-unit classes of the paper's experimental
+/// library (adder, subtracter, multiplier, comparators, incrementer,
+/// single-input logic gates, shifter) plus the structural operations every
+/// CDFG needs: select (multiplexer), memory access, constants, and primary
+/// I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Two's-complement multiplication.
+    Mul,
+    /// Increment by one (`++` in the paper's Figure 1).
+    Inc,
+    /// Decrement by one.
+    Dec,
+    /// Arithmetic negation.
+    Neg,
+    /// Less-than comparison, producing 0 or 1.
+    Lt,
+    /// Less-than-or-equal comparison.
+    Le,
+    /// Greater-than comparison (`>1` in Figure 1).
+    Gt,
+    /// Greater-than-or-equal comparison (`≥1` in Figure 13).
+    Ge,
+    /// Equality comparison (`==1` in Figure 13).
+    Eq,
+    /// Inequality comparison (`!=1` in Figure 13).
+    Ne,
+    /// Logical NOT (`!1` in Figure 13): 1 if the operand is zero.
+    Not,
+    /// Logical AND of two truth values.
+    And,
+    /// Logical OR of two truth values (`||1` in Figure 13).
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift by the second operand (`<<`).
+    Shl,
+    /// Arithmetic right shift by the second operand (`>>1` in Figure 4).
+    Shr,
+    /// Identity pass-through. Used to materialize loop-exit views of
+    /// carried variables ([`crate::PortKind::Exit`]) and other structural
+    /// copies; costs nothing and is resolved like a wire by the
+    /// schedulers.
+    Pass,
+    /// Select (multiplexer, `Sel1` in Figure 4): inputs are
+    /// `[s, l, r]`; the result is `l` if `s` is nonzero, else `r`.
+    ///
+    /// Selects are resolved structurally by the schedulers (they become
+    /// datapath multiplexers, not scheduled operations), but they still
+    /// evaluate like any other operation in the golden interpreter.
+    Select,
+    /// Memory read: input `[addr]`, result `mem[addr]`.
+    MemRead(MemId),
+    /// Memory write: inputs `[addr, data]`; the "result" is an ordering
+    /// token with the written value, used only for dependence chaining.
+    MemWrite(MemId),
+    /// Integer literal.
+    Const(Value),
+    /// Primary input, stable for the whole execution.
+    Input(InputId),
+    /// Primary output: input `[value]`; the result equals the operand.
+    Output(OutputId),
+}
+
+impl OpKind {
+    /// Number of input ports the operation expects.
+    pub fn arity(self) -> usize {
+        use OpKind::*;
+        match self {
+            Const(_) | Input(_) => 0,
+            Inc | Dec | Neg | Not | MemRead(_) | Output(_) | Pass => 1,
+            Add | Sub | Mul | Lt | Le | Gt | Ge | Eq | Ne | And | Or | Xor | Shl | Shr
+            | MemWrite(_) => 2,
+            Select => 3,
+        }
+    }
+
+    /// `true` for comparison and logic operations whose single-bit result
+    /// can steer control flow (the `c` variables of the paper).
+    pub fn is_condition_producer(self) -> bool {
+        use OpKind::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne | Not | And | Or)
+    }
+
+    /// `true` for operations with a side effect that must happen exactly
+    /// when the realized control path dictates (never speculatively
+    /// committed).
+    pub fn has_side_effect(self) -> bool {
+        matches!(self, OpKind::MemWrite(_) | OpKind::Output(_))
+    }
+
+    /// `true` for operations that are available "for free" at time zero
+    /// and are never scheduled onto a functional unit.
+    pub fn is_source(self) -> bool {
+        matches!(self, OpKind::Const(_) | OpKind::Input(_))
+    }
+
+    /// `true` for the select (multiplexer) operation, which the schedulers
+    /// resolve structurally rather than scheduling.
+    pub fn is_select(self) -> bool {
+        matches!(self, OpKind::Select)
+    }
+
+    /// `true` for structural pass-throughs (selects and [`OpKind::Pass`])
+    /// that never occupy a functional unit or a schedule slot.
+    pub fn is_pass_through(self) -> bool {
+        matches!(self, OpKind::Select | OpKind::Pass)
+    }
+
+    /// Evaluates the operation on concrete operand values.
+    ///
+    /// Memory operations take the value previously read from / to be
+    /// written to memory via `mem_value`: for [`OpKind::MemRead`] it is the
+    /// cell contents, for [`OpKind::MemWrite`] it is ignored and the
+    /// written data value is returned (as the ordering-token value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len()` does not match [`OpKind::arity`], or if
+    /// the kind is [`OpKind::Const`] / [`OpKind::Input`] (sources have no
+    /// computed value) — callers resolve those directly.
+    pub fn eval(self, operands: &[Value], mem_value: Option<Value>) -> Value {
+        use OpKind::*;
+        assert_eq!(
+            operands.len(),
+            self.arity(),
+            "operand count mismatch for {self}"
+        );
+        let b = |x: Value| -> Value { i64::from(x != 0) };
+        match self {
+            Add => operands[0].wrapping_add(operands[1]),
+            Sub => operands[0].wrapping_sub(operands[1]),
+            Mul => operands[0].wrapping_mul(operands[1]),
+            Inc => operands[0].wrapping_add(1),
+            Dec => operands[0].wrapping_sub(1),
+            Neg => operands[0].wrapping_neg(),
+            Lt => i64::from(operands[0] < operands[1]),
+            Le => i64::from(operands[0] <= operands[1]),
+            Gt => i64::from(operands[0] > operands[1]),
+            Ge => i64::from(operands[0] >= operands[1]),
+            Eq => i64::from(operands[0] == operands[1]),
+            Ne => i64::from(operands[0] != operands[1]),
+            Not => i64::from(operands[0] == 0),
+            And => b(operands[0]) & b(operands[1]),
+            Or => b(operands[0]) | b(operands[1]),
+            Xor => operands[0] ^ operands[1],
+            Shl => operands[0].wrapping_shl(shift_amount(operands[1])),
+            Shr => operands[0].wrapping_shr(shift_amount(operands[1])),
+            Pass => operands[0],
+            Select => {
+                if operands[0] != 0 {
+                    operands[1]
+                } else {
+                    operands[2]
+                }
+            }
+            MemRead(_) => mem_value.expect("memory read needs the cell value"),
+            MemWrite(_) => operands[1],
+            Output(_) => operands[0],
+            Const(_) | Input(_) => panic!("sources are resolved directly, not evaluated"),
+        }
+    }
+}
+
+/// Clamps a shift operand into the defined range, treating negative or
+/// oversized shifts as modulo 64 (hardware shifter semantics).
+fn shift_amount(v: Value) -> u32 {
+    (v.rem_euclid(64)) as u32
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpKind::*;
+        match self {
+            Add => write!(f, "+"),
+            Sub => write!(f, "-"),
+            Mul => write!(f, "*"),
+            Inc => write!(f, "++"),
+            Dec => write!(f, "--"),
+            Neg => write!(f, "neg"),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            Eq => write!(f, "=="),
+            Ne => write!(f, "!="),
+            Not => write!(f, "!"),
+            And => write!(f, "&&"),
+            Or => write!(f, "||"),
+            Xor => write!(f, "^"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            Pass => write!(f, "pass"),
+            Select => write!(f, "sel"),
+            MemRead(m) => write!(f, "rd[{m}]"),
+            MemWrite(m) => write!(f, "wr[{m}]"),
+            Const(v) => write!(f, "#{v}"),
+            Input(i) => write!(f, "{i}"),
+            Output(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Inc.arity(), 1);
+        assert_eq!(OpKind::Select.arity(), 3);
+        assert_eq!(OpKind::Const(4).arity(), 0);
+        assert_eq!(OpKind::MemWrite(MemId::new(0)).arity(), 2);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(OpKind::Add.eval(&[i64::MAX, 1], None), i64::MIN);
+        assert_eq!(OpKind::Mul.eval(&[3, 4], None), 12);
+        assert_eq!(OpKind::Inc.eval(&[-1], None), 0);
+        assert_eq!(OpKind::Dec.eval(&[0], None), -1);
+        assert_eq!(OpKind::Neg.eval(&[5], None), -5);
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        assert_eq!(OpKind::Gt.eval(&[3, 2], None), 1);
+        assert_eq!(OpKind::Gt.eval(&[2, 3], None), 0);
+        assert_eq!(OpKind::Ge.eval(&[2, 2], None), 1);
+        assert_eq!(OpKind::Eq.eval(&[7, 7], None), 1);
+        assert_eq!(OpKind::Ne.eval(&[7, 7], None), 0);
+        assert_eq!(OpKind::Lt.eval(&[-1, 0], None), 1);
+        assert_eq!(OpKind::Le.eval(&[1, 0], None), 0);
+    }
+
+    #[test]
+    fn logic_normalizes_truthiness() {
+        assert_eq!(OpKind::Not.eval(&[0], None), 1);
+        assert_eq!(OpKind::Not.eval(&[17], None), 0);
+        assert_eq!(OpKind::And.eval(&[5, 0], None), 0);
+        assert_eq!(OpKind::And.eval(&[5, -2], None), 1);
+        assert_eq!(OpKind::Or.eval(&[0, 0], None), 0);
+        assert_eq!(OpKind::Or.eval(&[0, 9], None), 1);
+    }
+
+    #[test]
+    fn shifts_clamp() {
+        assert_eq!(OpKind::Shl.eval(&[1, 3], None), 8);
+        assert_eq!(OpKind::Shr.eval(&[-8, 1], None), -4, "arithmetic shift");
+        // Oversized/negative shift amounts reduce modulo 64.
+        assert_eq!(OpKind::Shl.eval(&[1, 64], None), 1);
+        assert_eq!(OpKind::Shl.eval(&[1, 65], None), 2);
+    }
+
+    #[test]
+    fn select_picks_by_nonzero() {
+        assert_eq!(OpKind::Select.eval(&[1, 10, 20], None), 10);
+        assert_eq!(OpKind::Select.eval(&[0, 10, 20], None), 20);
+        assert_eq!(OpKind::Select.eval(&[-3, 10, 20], None), 10);
+    }
+
+    #[test]
+    fn memory_ops() {
+        let m = MemId::new(0);
+        assert_eq!(OpKind::MemRead(m).eval(&[5], Some(99)), 99);
+        assert_eq!(OpKind::MemWrite(m).eval(&[5, 42], None), 42);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(OpKind::Gt.is_condition_producer());
+        assert!(!OpKind::Add.is_condition_producer());
+        assert!(OpKind::MemWrite(MemId::new(0)).has_side_effect());
+        assert!(OpKind::Output(OutputId::new(0)).has_side_effect());
+        assert!(!OpKind::MemRead(MemId::new(0)).has_side_effect());
+        assert!(OpKind::Const(1).is_source());
+        assert!(OpKind::Input(InputId::new(0)).is_source());
+        assert!(OpKind::Select.is_select());
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count mismatch")]
+    fn eval_checks_arity() {
+        OpKind::Add.eval(&[1], None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(OpKind::Add.to_string(), "+");
+        assert_eq!(OpKind::Const(-3).to_string(), "#-3");
+        assert_eq!(OpKind::MemRead(MemId::new(2)).to_string(), "rd[mem2]");
+    }
+}

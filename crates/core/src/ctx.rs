@@ -1,0 +1,602 @@
+//! Scheduling context: value versions, guards, obligations, resource
+//! occupancy — everything the scheduler knows at a state boundary.
+//!
+//! A context is attached to every STG state under construction. It is the
+//! concrete realization of the paper's bookkeeping: `Sched_succ[state]`
+//! (our candidate list), the tagged value versions produced by
+//! speculative execution, the conditions awaiting resolution, and the
+//! side-effect obligations that decide when a path may transition to
+//! STOP.
+//!
+//! Contexts support three operations central to the algorithm:
+//!
+//! * **cofactoring** by a resolved condition combination (Sec. 4.3
+//!   Step 2) — validating/invalidating speculative work;
+//! * **garbage collection** of value versions that no remaining or future
+//!   consumer can reference — without this, loop iterations would
+//!   accumulate state forever and no two contexts would ever fold;
+//! * **normalization** to a canonical signature modulo a uniform
+//!   iteration-index shift per loop — the state-equivalence test of
+//!   Fig. 12 step 11 / Example 10 that produces finite steady-state
+//!   schedules.
+
+use cdfg::{InputId, LoopId, OpId, Value};
+use guards::{BddManager, Cond, Guard};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Iteration indices aligned with an op's loop path.
+pub(crate) type Iter = Vec<u32>;
+
+/// Identity of one executed value version: operation instance + version.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Key {
+    pub op: OpId,
+    pub iter: Iter,
+    pub version: u32,
+}
+
+impl Key {
+    pub fn inst(op: OpId, iter: Iter, version: u32) -> Self {
+        Key { op, iter, version }
+    }
+}
+
+/// Identity of a program-level condition instance (version-independent:
+/// all versions of a conditional operation compute the same program
+/// value; exactly one is valid on any path).
+pub(crate) type CondInst = (OpId, Iter);
+
+/// Where an operand value comes from.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum ValSrc {
+    Const(Value),
+    Input(InputId),
+    Key(Key),
+}
+
+/// A schedulable conditioned operation instance with fully resolved
+/// operand versions — one entry of the paper's `Schedulable_operations`.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub op: OpId,
+    pub iter: Iter,
+    /// Value operands, in port order.
+    pub operands: Vec<ValSrc>,
+    /// Memory-ordering tokens that must have been produced first
+    /// (`None` = bypassed because the ordered-before access is on a
+    /// disjoint control path).
+    pub tokens: Vec<Option<Key>>,
+    /// Speculation condition (Lemma 1 conjunction).
+    pub guard: Guard,
+}
+
+/// Metadata of an issued value version.
+#[derive(Debug, Clone)]
+pub(crate) struct AvailInfo {
+    /// Validity guard (cofactored as conditions resolve).
+    pub guard: Guard,
+    /// Number of further states before the result is architecturally
+    /// readable (0 = readable now / from the next state on).
+    pub ready_in: u32,
+    /// Combinational finish depth within the *current* state; reset to 0
+    /// at every state boundary. ≥ 2.0 marks same-state-unreadable
+    /// results (non-chainable units).
+    pub depth: f64,
+    /// Operand sources, kept for dedup and context signatures.
+    pub operands: Vec<ValSrc>,
+}
+
+/// Allocation of condition variables: one BDD variable per condition
+/// instance, allocated on first reference (which may precede the
+/// instance's execution — that is what speculation means).
+#[derive(Debug, Default)]
+pub(crate) struct CondTable {
+    vars: HashMap<CondInst, Cond>,
+    by_var: Vec<CondInst>,
+}
+
+impl CondTable {
+    pub fn var(&mut self, inst: CondInst) -> Cond {
+        if let Some(&c) = self.vars.get(&inst) {
+            return c;
+        }
+        let c = Cond::new(u32::try_from(self.by_var.len()).expect("too many conditions"));
+        self.vars.insert(inst.clone(), c);
+        self.by_var.push(inst);
+        c
+    }
+
+    pub fn inst_of(&self, c: Cond) -> &CondInst {
+        &self.by_var[c.index() as usize]
+    }
+}
+
+/// The scheduler's knowledge at a state boundary.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Ctx {
+    /// Issued value versions and their validity guards.
+    pub avail: BTreeMap<Key, AvailInfo>,
+    /// Schedulable conditioned instances.
+    pub cands: Vec<Candidate>,
+    /// Instances whose consumption is decided: a version with a
+    /// constant-true guard was issued, so no further version can be
+    /// valid on this path.
+    pub done: BTreeSet<(OpId, Iter)>,
+    /// Outstanding side-effect obligations: instantiated effectful
+    /// instances (memory writes, outputs) not yet validly executed.
+    pub obligations: BTreeMap<(OpId, Iter), Guard>,
+    /// Computed-but-unresolved condition versions: key, validity guard,
+    /// states until the result is ready.
+    pub pending_conds: Vec<(Key, Guard, u32)>,
+    /// Resolution history on this path (pruned to the live window).
+    pub resolved: BTreeMap<CondInst, bool>,
+    /// Busy non-pipelined units: class display name → remaining-state
+    /// counts.
+    pub fu_busy: BTreeMap<String, Vec<u32>>,
+    /// Per loop context (loop, outer iteration prefix): highest iteration
+    /// index instantiated so far.
+    pub horizon: BTreeMap<(LoopId, Iter), u32>,
+    /// Per loop context: all continue-condition instances below this
+    /// index are known true on this path. Lets resolution history below
+    /// the live window be pruned (else steady states would never fold).
+    pub floor: BTreeMap<(LoopId, Iter), u32>,
+    /// Per loop context: every direct-member instance below this index is
+    /// already executed or control-dead. The candidate window never goes
+    /// below it, and `done` entries under it can be pruned — the pair of
+    /// facts that keeps lagging work schedulable without unbounded
+    /// bookkeeping.
+    pub work_floor: BTreeMap<(LoopId, Iter), u32>,
+}
+
+impl Ctx {
+    /// Applies end-of-state timing: depths reset, multi-cycle results get
+    /// one state closer to ready, busy units tick down.
+    pub fn tick(&mut self) {
+        for info in self.avail.values_mut() {
+            info.depth = 0.0;
+            if info.ready_in > 0 {
+                info.ready_in -= 1;
+            }
+        }
+        for (_, _, r) in &mut self.pending_conds {
+            if *r > 0 {
+                *r -= 1;
+            }
+        }
+        for v in self.fu_busy.values_mut() {
+            for r in v.iter_mut() {
+                *r -= 1;
+            }
+            v.retain(|&r| r > 0);
+        }
+    }
+
+    /// Cofactors every guard in the context by `cond = value`, dropping
+    /// entries whose guard collapses to false (Step 2 of Sec. 4.3:
+    /// invalidated speculations are removed so they stop sourcing
+    /// successors).
+    pub fn cofactor(&mut self, mgr: &mut BddManager, var: Cond, value: bool, inst: CondInst) {
+        self.resolved.insert(inst.clone(), value);
+        self.avail.retain(|_, info| {
+            info.guard = mgr.cofactor(info.guard, var, value);
+            !info.guard.is_false()
+        });
+        self.cands.retain_mut(|c| {
+            c.guard = mgr.cofactor(c.guard, var, value);
+            let keep = !c.guard.is_false();
+            if !keep && std::env::var_os("WAVESCHED_TRACE").is_some() {
+                eprintln!("drop cand {:?}@{:?} on {:?}={}", c.op, c.iter, inst, value);
+            }
+            keep
+        });
+        self.obligations.retain(|_, g| {
+            *g = mgr.cofactor(*g, var, value);
+            !g.is_false()
+        });
+        self.pending_conds.retain_mut(|(_, g, _)| {
+            *g = mgr.cofactor(*g, var, value);
+            !g.is_false()
+        });
+    }
+
+    /// All iteration indices in use for loop `l` at depth `d` of some
+    /// instance path, across the whole context; used by normalization.
+    fn collect_loop_mins(
+        &self,
+        g: &cdfg::Cdfg,
+        ct: &CondTable,
+        mgr: &BddManager,
+    ) -> BTreeMap<LoopId, u32> {
+        let mut mins: BTreeMap<LoopId, u32> = BTreeMap::new();
+        fn note(g: &cdfg::Cdfg, mins: &mut BTreeMap<LoopId, u32>, op: OpId, iter: &Iter) {
+            let path = g.op(op).loop_path();
+            for (d, &l) in path.iter().enumerate() {
+                if d < iter.len() {
+                    let e = mins.entry(l).or_insert(u32::MAX);
+                    *e = (*e).min(iter[d]);
+                }
+            }
+        }
+        let note_guard = |gd: Guard, mins: &mut BTreeMap<LoopId, u32>| {
+            for c in mgr.support(gd) {
+                let (op, iter) = ct.inst_of(c).clone();
+                note(g, mins, op, &iter);
+            }
+        };
+        for (k, info) in &self.avail {
+            note(g, &mut mins, k.op, &k.iter);
+            note_guard(info.guard, &mut mins);
+            for o in &info.operands {
+                if let ValSrc::Key(kk) = o {
+                    note(g, &mut mins, kk.op, &kk.iter);
+                }
+            }
+        }
+        for c in &self.cands {
+            note(g, &mut mins, c.op, &c.iter);
+            note_guard(c.guard, &mut mins);
+            for o in &c.operands {
+                if let ValSrc::Key(kk) = o {
+                    note(g, &mut mins, kk.op, &kk.iter);
+                }
+            }
+        }
+        for ((op, iter), gd) in &self.obligations {
+            note(g, &mut mins, *op, iter);
+            note_guard(*gd, &mut mins);
+        }
+        for (k, gd, _) in &self.pending_conds {
+            note(g, &mut mins, k.op, &k.iter);
+            note_guard(*gd, &mut mins);
+        }
+        mins
+    }
+
+    /// Canonical signature of the context modulo a uniform per-loop
+    /// iteration shift, plus the per-loop minimum indices needed to
+    /// derive fold renames.
+    ///
+    /// Two contexts are schedule-equivalent iff their signatures are
+    /// equal; the rename map for a fold edge shifts every key by the
+    /// difference of the two contexts' minimums. Stale bookkeeping
+    /// entries (resolution history below the live window) are rendered
+    /// with signed indices, so they can only *prevent* a fold, never
+    /// cause an unsound one.
+    pub fn signature(
+        &self,
+        g: &cdfg::Cdfg,
+        ct: &CondTable,
+        mgr: &mut BddManager,
+    ) -> (String, BTreeMap<LoopId, u32>) {
+        let mut mins = self.collect_loop_mins(g, ct, mgr);
+        // Loops with no live indexed instance (typically: just exited)
+        // still appear in resolution history, floors and horizons; shift
+        // them by their floor so exit states of different iteration
+        // counts fold. Floors only ever advance, so this is a stable
+        // canonical basis.
+        for ((l, _), f) in &self.floor {
+            let e = mins.entry(*l).or_insert(*f);
+            if *e == u32::MAX {
+                *e = *f;
+            }
+        }
+        let shift_iter = |op: OpId, iter: &Iter| -> Vec<i64> {
+            let path = g.op(op).loop_path();
+            iter.iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let l = path[d];
+                    i64::from(v) - i64::from(mins.get(&l).copied().unwrap_or(0))
+                })
+                .collect()
+        };
+        // Canonical version renumbering: versions are ranked densely per
+        // instance in issue order, so contexts that differ only in how
+        // many retired versions preceded the live ones still fold.
+        let mut vrank: HashMap<Key, u32> = HashMap::new();
+        {
+            let mut counts: HashMap<(OpId, Iter), u32> = HashMap::new();
+            for k in self.avail.keys() {
+                let c = counts.entry((k.op, k.iter.clone())).or_insert(0);
+                vrank.insert(k.clone(), *c);
+                *c += 1;
+            }
+        }
+        let fmt_key = |k: &Key| -> String {
+            let v = vrank.get(k).copied().unwrap_or(k.version);
+            format!("{}@{:?}v{}", k.op, shift_iter(k.op, &k.iter), v)
+        };
+        let fmt_src = |s: &ValSrc| -> String {
+            match s {
+                ValSrc::Const(v) => format!("#{v}"),
+                ValSrc::Input(i) => format!("{i}"),
+                ValSrc::Key(k) => fmt_key(k),
+            }
+        };
+        let mut mgr2 = mgr.clone();
+        let mut fmt_guard = |gd: Guard| -> String {
+            mgr2.to_sop_string(gd, &|c: Cond| {
+                let (op, iter) = ct.inst_of(c).clone();
+                format!("{}@{:?}", op, shift_iter(op, &iter))
+            })
+        };
+
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        for (k, info) in &self.avail {
+            let _ = write!(
+                s,
+                "A{}:{}r{};",
+                fmt_key(k),
+                fmt_guard(info.guard),
+                info.ready_in
+            );
+            for o in &info.operands {
+                let _ = write!(s, "{},", fmt_src(o));
+            }
+        }
+        let mut cand_strs: Vec<String> = self
+            .cands
+            .iter()
+            .map(|c| {
+                let ops = c
+                    .operands
+                    .iter()
+                    .map(&fmt_src)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let toks = c
+                    .tokens
+                    .iter()
+                    .map(|t| t.as_ref().map(&fmt_key).unwrap_or_else(|| "-".into()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "C{}@{:?}({ops})[{toks}]:{};",
+                    c.op,
+                    shift_iter(c.op, &c.iter),
+                    fmt_guard(c.guard)
+                )
+            })
+            .collect();
+        cand_strs.sort();
+        for c in cand_strs {
+            s.push_str(&c);
+        }
+        for ((op, iter), gd) in &self.obligations {
+            let _ = write!(s, "O{}@{:?}:{};", op, shift_iter(*op, iter), fmt_guard(*gd));
+        }
+        for (k, gd, r) in &self.pending_conds {
+            let _ = write!(s, "P{}:{}r{r};", fmt_key(k), fmt_guard(*gd));
+        }
+        for ((op, iter), v) in &self.resolved {
+            let _ = write!(s, "R{}@{:?}={};", op, shift_iter(*op, iter), v);
+        }
+        for (op, iter) in &self.done {
+            let _ = write!(s, "D{}@{:?};", op, shift_iter(*op, iter));
+        }
+        for (class, busy) in &self.fu_busy {
+            let _ = write!(s, "F{class}:{busy:?};");
+        }
+        for ((l, pre), h) in &self.horizon {
+            // Shift the horizon by the loop's own min, and the outer
+            // prefix by each ancestor loop's min.
+            let mut ancestors = Vec::new();
+            let mut cur = g.loop_info(*l).parent();
+            while let Some(a) = cur {
+                ancestors.push(a);
+                cur = g.loop_info(a).parent();
+            }
+            ancestors.reverse();
+            let pre_shifted: Vec<i64> = pre
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let shift = ancestors
+                        .get(d)
+                        .and_then(|a| mins.get(a))
+                        .copied()
+                        .unwrap_or(0);
+                    i64::from(v) - i64::from(shift)
+                })
+                .collect();
+            let hs = i64::from(*h) - i64::from(mins.get(l).copied().unwrap_or(0));
+            let _ = write!(s, "H{l}@{pre_shifted:?}:{hs};");
+        }
+        for ((l, pre), fl) in &self.floor {
+            let mut ancestors = Vec::new();
+            let mut cur = g.loop_info(*l).parent();
+            while let Some(a) = cur {
+                ancestors.push(a);
+                cur = g.loop_info(a).parent();
+            }
+            ancestors.reverse();
+            let pre_shifted: Vec<i64> = pre
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let shift = ancestors
+                        .get(d)
+                        .and_then(|a| mins.get(a))
+                        .copied()
+                        .unwrap_or(0);
+                    i64::from(v) - i64::from(shift)
+                })
+                .collect();
+            let fs = i64::from(*fl) - i64::from(mins.get(l).copied().unwrap_or(0));
+            let _ = write!(s, "L{l}@{pre_shifted:?}:{fs};");
+        }
+        for ((l, pre), wf) in &self.work_floor {
+            let mut ancestors = Vec::new();
+            let mut cur = g.loop_info(*l).parent();
+            while let Some(a) = cur {
+                ancestors.push(a);
+                cur = g.loop_info(a).parent();
+            }
+            ancestors.reverse();
+            let pre_shifted: Vec<i64> = pre
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let shift = ancestors
+                        .get(d)
+                        .and_then(|a| mins.get(a))
+                        .copied()
+                        .unwrap_or(0);
+                    i64::from(v) - i64::from(shift)
+                })
+                .collect();
+            let ws_ = i64::from(*wf) - i64::from(mins.get(l).copied().unwrap_or(0));
+            let _ = write!(s, "W{l}@{pre_shifted:?}:{ws_};");
+        }
+        (s, mins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::{CdfgBuilder, OpKind, Src};
+
+    fn loop_cdfg() -> cdfg::Cdfg {
+        let mut b = CdfgBuilder::new("l");
+        let n = b.input("n");
+        let zero = b.constant(0);
+        b.begin_loop();
+        let i = b.carried(zero);
+        let c = b.op(OpKind::Lt, &[Src::Carried(i), Src::Op(n)]);
+        b.loop_condition(c);
+        let i1 = b.op(OpKind::Inc, &[Src::Carried(i)]);
+        b.set_carried(i, i1);
+        b.end_loop();
+        let e = b.exit_value(i);
+        b.output("o", Src::Op(e));
+        b.finish().unwrap()
+    }
+
+    fn inc_op(g: &cdfg::Cdfg) -> OpId {
+        g.ops()
+            .iter()
+            .find(|o| o.kind() == OpKind::Inc)
+            .unwrap()
+            .id()
+    }
+
+    #[test]
+    fn cond_table_allocates_once() {
+        let mut ct = CondTable::default();
+        let a = ct.var((OpId::new(1), vec![0]));
+        let b = ct.var((OpId::new(1), vec![0]));
+        assert_eq!(a, b);
+        let c = ct.var((OpId::new(1), vec![1]));
+        assert_ne!(a, c);
+        assert_eq!(ct.inst_of(a), &(OpId::new(1), vec![0]));
+    }
+
+    #[test]
+    fn tick_advances_timing() {
+        let mut ctx = Ctx::default();
+        ctx.avail.insert(
+            Key::inst(OpId::new(0), vec![], 0),
+            AvailInfo {
+                guard: Guard::TRUE,
+                ready_in: 2,
+                depth: 1.0,
+                operands: vec![],
+            },
+        );
+        ctx.fu_busy.insert("mult1".into(), vec![2, 1]);
+        ctx.tick();
+        let info = ctx.avail.values().next().unwrap();
+        assert_eq!(info.ready_in, 1);
+        assert_eq!(info.depth, 0.0);
+        assert_eq!(ctx.fu_busy["mult1"], vec![1]);
+    }
+
+    #[test]
+    fn cofactor_drops_invalidated() {
+        let mut mgr = BddManager::new();
+        let mut ct = CondTable::default();
+        let inst = (OpId::new(5), vec![0u32]);
+        let var = ct.var(inst.clone());
+        let lit = mgr.literal(var, true);
+        let mut ctx = Ctx::default();
+        ctx.avail.insert(
+            Key::inst(OpId::new(1), vec![0], 0),
+            AvailInfo {
+                guard: lit,
+                ready_in: 0,
+                depth: 0.0,
+                operands: vec![],
+            },
+        );
+        ctx.obligations
+            .insert((OpId::new(2), vec![0]), mgr.literal(var, false));
+        ctx.cofactor(&mut mgr, var, true, inst.clone());
+        assert_eq!(ctx.avail.len(), 1, "validated value survives");
+        assert!(ctx.avail.values().next().unwrap().guard.is_true());
+        assert!(ctx.obligations.is_empty(), "false-guard obligation dropped");
+        assert_eq!(ctx.resolved.get(&inst), Some(&true));
+    }
+
+    #[test]
+    fn signature_folds_shifted_iterations() {
+        let g = loop_cdfg();
+        let op = inc_op(&g);
+        let mut mgr = BddManager::new();
+        let ct = CondTable::default();
+        let mk = |iters: &[u32]| -> Ctx {
+            let mut ctx = Ctx::default();
+            for &i in iters {
+                ctx.avail.insert(
+                    Key::inst(op, vec![i], 0),
+                    AvailInfo {
+                        guard: Guard::TRUE,
+                        ready_in: 0,
+                        depth: 0.0,
+                        operands: vec![],
+                    },
+                );
+            }
+            ctx
+        };
+        let lp = g.loops()[0].id();
+        let a = mk(&[3, 4]);
+        let b = mk(&[7, 8]);
+        let (sig_a, mins_a) = a.signature(&g, &ct, &mut mgr);
+        let (sig_b, mins_b) = b.signature(&g, &ct, &mut mgr);
+        assert_eq!(sig_a, sig_b, "uniformly shifted contexts fold");
+        assert_eq!(mins_a[&lp], 3);
+        assert_eq!(mins_b[&lp], 7);
+        let c = mk(&[3, 5]);
+        let (sig_c, _) = c.signature(&g, &ct, &mut mgr);
+        assert_ne!(sig_a, sig_c, "non-uniform spacing does not fold");
+    }
+
+    #[test]
+    fn signature_distinguishes_guards() {
+        let g = loop_cdfg();
+        let op = inc_op(&g);
+        let cond = g.loops()[0].cond();
+        let mut mgr = BddManager::new();
+        let mut ct = CondTable::default();
+        let var = ct.var((cond, vec![0]));
+        let lit = mgr.literal(var, true);
+        let mk = |gd: Guard| -> Ctx {
+            let mut ctx = Ctx::default();
+            ctx.avail.insert(
+                Key::inst(op, vec![0], 0),
+                AvailInfo {
+                    guard: gd,
+                    ready_in: 0,
+                    depth: 0.0,
+                    operands: vec![],
+                },
+            );
+            ctx
+        };
+        let (sa, _) = mk(Guard::TRUE).signature(&g, &ct, &mut mgr);
+        let (sb, _) = mk(lit).signature(&g, &ct, &mut mgr);
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,1394 @@
+//! The scheduling engine: the worklist algorithm of Fig. 12 of the
+//! paper, generalized over the three scheduling policies.
+//!
+//! See the crate-level docs for the algorithm outline. The engine owns
+//! the BDD manager, the condition table, the growing STG, and the state
+//! signature index used for equivalence folding.
+
+use crate::ctx::{AvailInfo, Candidate, CondInst, CondTable, Ctx, Iter, Key, ValSrc};
+use crate::resolve::{Res, Tables};
+use crate::{Mode, SchedConfig, SchedError};
+use cdfg::analysis::{self, BranchProbs};
+use cdfg::{Cdfg, LoopId, OpId, PortKind};
+use guards::{BddManager, CondProbs, Guard};
+use hls_resources::{classify, Allocation, Library};
+use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Statistics of one scheduling run.
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Working states created.
+    pub states: usize,
+    /// Fold (equivalence) edges emitted.
+    pub folds: usize,
+    /// Operation issues across all states.
+    pub issues: usize,
+    /// Peak number of live value versions in any context.
+    pub peak_ctx: usize,
+    /// BDD nodes allocated over the run.
+    pub bdd_nodes: usize,
+}
+
+/// A finished schedule: the STG plus run statistics.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The scheduled state transition graph.
+    pub stg: Stg,
+    /// Run statistics.
+    pub stats: SchedStats,
+}
+
+/// Schedules `g` under the given resource library, allocation
+/// constraints, and branch probabilities.
+///
+/// # Errors
+///
+/// Returns [`SchedError`] if the design cannot be scheduled under the
+/// configuration — state/iteration caps exceeded or a resource deadlock
+/// (e.g. an allocation granting zero units of a class the design needs).
+pub fn schedule(
+    g: &Cdfg,
+    lib: &Library,
+    alloc: &Allocation,
+    probs: &BranchProbs,
+    cfg: &SchedConfig,
+) -> Result<ScheduleResult, SchedError> {
+    Engine::new(g, lib, alloc, probs, cfg).run()
+}
+
+struct Engine<'a> {
+    g: &'a Cdfg,
+    lib: &'a Library,
+    alloc: &'a Allocation,
+    probs: &'a BranchProbs,
+    cfg: &'a SchedConfig,
+    tables: Tables,
+    mgr: BddManager,
+    ct: CondTable,
+    cprobs: CondProbs,
+    lambda: Vec<f64>,
+    useful: Vec<bool>,
+    /// Per op: every loop whose iteration bookkeeping (floor/horizon)
+    /// its transitive fanin can reference.
+    loops_needed: Vec<BTreeSet<LoopId>>,
+    stg: Stg,
+    sigs: HashMap<String, (StateId, Vec<Key>)>,
+    stats: SchedStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        g: &'a Cdfg,
+        lib: &'a Library,
+        alloc: &'a Allocation,
+        probs: &'a BranchProbs,
+        cfg: &'a SchedConfig,
+    ) -> Self {
+        let lambda = analysis::lambda(g, probs, &lib.delay_fn(g));
+        Engine {
+            g,
+            lib,
+            alloc,
+            probs,
+            cfg,
+            tables: Tables::new(g),
+            mgr: BddManager::new(),
+            ct: CondTable::default(),
+            cprobs: CondProbs::new(),
+            lambda,
+            useful: useful_ops(g),
+            loops_needed: loops_needed(g),
+            stg: Stg::new(g.name()),
+            sigs: HashMap::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    fn run(mut self) -> Result<ScheduleResult, SchedError> {
+        let mut ctx0 = Ctx::default();
+        // Initial obligations: every side-effect operation at the
+        // all-zero iteration of its loop nest.
+        let effects = self.tables.effects.clone();
+        for e in effects {
+            let iter: Iter = vec![0; self.g.op(e).loop_path().len()];
+            let mut r = Res {
+                g: self.g,
+                tables: &self.tables,
+                mgr: &mut self.mgr,
+                ct: &mut self.ct,
+            };
+            let guard = r.ctrl_guard(&ctx0, e, &iter);
+            if !guard.is_false() {
+                ctx0.obligations.insert((e, iter), guard);
+            }
+        }
+        self.sweep(&mut ctx0);
+
+        let start = self.stg.start();
+        let stop = self.stg.stop();
+        if ctx0.obligations.is_empty() {
+            // Nothing to do: a design with no side effects.
+            self.stg.state_mut(start).transitions.push(Transition {
+                when: vec![],
+                target: stop,
+                renames: vec![],
+            });
+            return self.finish();
+        }
+        let (sig, _) = ctx0.signature(self.g, &self.ct, &mut self.mgr);
+        let keys0: Vec<Key> = ctx0.avail.keys().cloned().collect();
+        self.sigs.insert(sig, (start, keys0));
+        self.stats.states = 1;
+
+        let mut queue: VecDeque<(StateId, Ctx)> = VecDeque::new();
+        queue.push_back((start, ctx0));
+        let mut iterations = 0usize;
+        while let Some((sid, mut ctx)) = queue.pop_front() {
+            iterations += 1;
+            if iterations > self.cfg.max_iterations {
+                return Err(SchedError::IterationLimit(self.cfg.max_iterations));
+            }
+            let t0 = std::time::Instant::now();
+            self.grow_state(sid, &mut ctx)?;
+            let t_grow = t0.elapsed();
+            ctx.tick();
+            let t1 = std::time::Instant::now();
+            let branches = self.partition(ctx);
+            let t_part = t1.elapsed();
+            if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                eprintln!(
+                    "state {sid}: grow={t_grow:?} partition={t_part:?} branches={} bdd={}",
+                    branches.len(),
+                    self.mgr.node_count()
+                );
+            }
+            let resolves: Vec<OpInst> = {
+                let mut set = BTreeSet::new();
+                for (when, _) in &branches {
+                    for (k, _) in when {
+                        set.insert(key_to_inst(k));
+                    }
+                }
+                set.into_iter().collect()
+            };
+            self.stg.state_mut(sid).resolves = resolves;
+            for (when, mut bctx) in branches {
+                let tb = std::time::Instant::now();
+                self.promote_done(&mut bctx);
+                self.sweep(&mut bctx);
+                let t_sw = tb.elapsed();
+                let tg = std::time::Instant::now();
+                self.gc(&mut bctx);
+                let t_gc = tg.elapsed();
+                if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                    eprintln!("  branch: sweep={t_sw:?} gc={t_gc:?} avail={} cands={}",
+                        bctx.avail.len(), bctx.cands.len());
+                }
+                self.stats.peak_ctx = self.stats.peak_ctx.max(bctx.avail.len());
+                let when: Vec<(OpInst, bool)> =
+                    when.iter().map(|(k, v)| (key_to_inst(k), *v)).collect();
+                if bctx.obligations.is_empty() {
+                    self.stg.state_mut(sid).transitions.push(Transition {
+                        when,
+                        target: stop,
+                        renames: vec![],
+                    });
+                    continue;
+                }
+                let (sig, _) = bctx.signature(self.g, &self.ct, &mut self.mgr);
+                if let Some((tid, old_keys)) = self.sigs.get(&sig) {
+                    let renames = fold_renames(&bctx, old_keys);
+                    let tid = *tid;
+                    if tid == sid && when.is_empty() && self.stg.state(sid).ops.is_empty() {
+                        return Err(SchedError::Stuck(format!(
+                            "livelock: empty state {sid} folds onto itself"
+                        )));
+                    }
+                    self.stats.folds += 1;
+                    self.stg.state_mut(sid).transitions.push(Transition {
+                        when,
+                        target: tid,
+                        renames,
+                    });
+                } else {
+                    let nid = self.stg.add_state();
+                    if std::env::var_os("WAVESCHED_DEBUG").is_some() {
+                        eprintln!(
+                            "new state {nid}: avail={} cands={} obls={} resolved={} sig={}",
+                            bctx.avail.len(),
+                            bctx.cands.len(),
+                            bctx.obligations.len(),
+                            bctx.resolved.len(),
+                            &sig[..sig.len().min(400)]
+                        );
+                    }
+                    self.stats.states += 1;
+                    if self.stats.states > self.cfg.max_states {
+                        return Err(SchedError::StateLimit(self.cfg.max_states));
+                    }
+                    let keys: Vec<Key> = bctx.avail.keys().cloned().collect();
+                    self.sigs.insert(sig, (nid, keys));
+                    self.stg.state_mut(sid).transitions.push(Transition {
+                        when,
+                        target: nid,
+                        renames: vec![],
+                    });
+                    queue.push_back((nid, bctx));
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> Result<ScheduleResult, SchedError> {
+        self.stats.bdd_nodes = self.mgr.node_count();
+        debug_assert_eq!(self.stg.check(), Ok(()));
+        #[cfg(debug_assertions)]
+        if let Err(errs) = stg::validate_dataflow(&self.stg) {
+            panic!(
+                "scheduler emitted a dataflow-unsound STG ({} violations, first: {})",
+                errs.len(),
+                errs[0]
+            );
+        }
+        Ok(ScheduleResult {
+            stg: self.stg,
+            stats: self.stats,
+        })
+    }
+
+    /// Grows one state: repeatedly selects and issues the feasible
+    /// candidate with the highest criticality (Eq. 5) until nothing more
+    /// fits, sweeping for newly enabled successors after every issue.
+    fn grow_state(&mut self, sid: StateId, ctx: &mut Ctx) -> Result<(), SchedError> {
+        let mut issued: BTreeSet<Key> = BTreeSet::new();
+        let mut class_use: BTreeMap<String, u32> = BTreeMap::new();
+        loop {
+            self.sweep(ctx);
+            let mut best: Option<(f64, usize, f64)> = None; // (crit, idx, start)
+            for (i, cand) in ctx.cands.iter().enumerate() {
+                let Some(start) = self.feasible(ctx, cand, &issued, &class_use) else {
+                    continue;
+                };
+                let crit = self.criticality(cand);
+                let better = match best {
+                    None => true,
+                    Some((bc, bi, _)) => {
+                        crit > bc + 1e-12
+                            || ((crit - bc).abs() <= 1e-12
+                                && cand_order(cand) < cand_order(&ctx.cands[bi]))
+                    }
+                };
+                if better {
+                    best = Some((crit, i, start));
+                }
+            }
+            let Some((_, idx, start)) = best else { break };
+            if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                let c = &ctx.cands[idx];
+                eprintln!("issue {:?}@{:?} cands={} avail={} bdd={}",
+                    c.op, c.iter, ctx.cands.len(), ctx.avail.len(), self.mgr.node_count());
+            }
+            self.issue(sid, ctx, idx, start, &mut issued, &mut class_use);
+        }
+        // Stall / deadlock detection: an empty state must be waiting on
+        // something that advances with time.
+        if self.stg.state(sid).ops.is_empty() {
+            let waiting = ctx.avail.values().any(|i| i.ready_in > 0)
+                || !ctx.pending_conds.is_empty()
+                || ctx.fu_busy.values().any(|v| !v.is_empty());
+            if !waiting && !ctx.obligations.is_empty() {
+                if std::env::var_os("WAVESCHED_DEBUG").is_some() {
+                    eprintln!("--- stuck ctx dump ---");
+                    for (k, info) in &ctx.avail {
+                        eprintln!("avail {:?} guard={} ready={}", k, info.guard, info.ready_in);
+                    }
+                    for c in &ctx.cands {
+                        eprintln!(
+                            "cand {:?}@{:?} ops={:?} toks={:?} guard={}",
+                            c.op, c.iter, c.operands, c.tokens, c.guard
+                        );
+                    }
+                    for ((op, iter), gd) in &ctx.obligations {
+                        eprintln!("oblig {:?}@{:?} guard={gd}", op, iter);
+                    }
+                    eprintln!(
+                        "resolved={:?} floor={:?} horizon={:?} done={:?}",
+                        ctx.resolved, ctx.floor, ctx.horizon, ctx.done
+                    );
+                }
+                let (op, iter) = ctx.obligations.keys().next().expect("nonempty");
+                return Err(SchedError::Stuck(format!(
+                    "no progress towards {}{:?} — check the allocation",
+                    self.g.op(*op).name(),
+                    iter
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks whether a candidate fits the current state; returns its
+    /// combinational start depth if it does.
+    fn feasible(
+        &mut self,
+        ctx: &Ctx,
+        cand: &Candidate,
+        issued: &BTreeSet<Key>,
+        class_use: &BTreeMap<String, u32>,
+    ) -> Option<f64> {
+        let kind = self.g.op(cand.op).kind();
+        // Side effects never speculate (they commit architectural state).
+        if kind.has_side_effect() && !cand.guard.is_true() {
+            return None;
+        }
+        match self.cfg.mode {
+            Mode::NonSpeculative => {
+                if !cand.guard.is_true() {
+                    return None;
+                }
+            }
+            Mode::SinglePath => {
+                if !cand.guard.is_true()
+                    && (self.mgr.support(cand.guard).len() > self.cfg.max_spec_depth
+                        || !self.predicted_cube(cand.guard))
+                {
+                    return None;
+                }
+            }
+            Mode::Speculative => {
+                if self.mgr.support(cand.guard).len() > self.cfg.max_spec_depth {
+                    return None;
+                }
+            }
+        }
+        // Ordering tokens: the ordered-before access must have been
+        // issued in a *previous* state.
+        for t in cand.tokens.iter().flatten() {
+            if !ctx.avail.contains_key(t) || issued.contains(t) {
+                return None;
+            }
+        }
+        // Operand availability and chaining depth.
+        let spec = self.lib.spec_for(kind);
+        let frac = spec.as_ref().map_or(0.0, |s| s.frac_delay);
+        let latency = spec.as_ref().map_or(0, |s| s.latency);
+        let mut start = 0.0f64;
+        for o in &cand.operands {
+            if let ValSrc::Key(k) = o {
+                let info = ctx.avail.get(k)?;
+                if issued.contains(k) {
+                    if info.depth >= 1.999 {
+                        return None; // same-state result of a non-chainable unit
+                    }
+                    start = start.max(info.depth);
+                } else if info.ready_in > 0 {
+                    return None; // multi-cycle result still in flight
+                }
+            }
+        }
+        if latency > 1 && start > 0.0 {
+            return None;
+        }
+        if start + frac > 1.0 + 1e-9 {
+            return None;
+        }
+        // Functional-unit capacity.
+        if let Some(s) = &spec {
+            let class = classify(kind);
+            let class_str = class.to_string();
+            let mut used = class_use.get(&class_str).copied().unwrap_or(0);
+            if !s.pipelined {
+                used += ctx
+                    .fu_busy
+                    .get(&class_str)
+                    .map_or(0, |v| v.len() as u32);
+            }
+            if !self.alloc.limit(class).allows(used) {
+                return None;
+            }
+        }
+        Some(start)
+    }
+
+    /// `true` if the guard is a cube whose every literal matches the
+    /// profile-predicted outcome — the single-path speculation filter.
+    fn predicted_cube(&mut self, guard: Guard) -> bool {
+        let support = self.mgr.support(guard);
+        let mut predicted = Guard::TRUE;
+        for c in &support {
+            let (op, _) = self.ct.inst_of(*c).clone();
+            let pol = self.probs.get(op) >= 0.5;
+            let lit = self.mgr.literal(*c, pol);
+            predicted = self.mgr.and(predicted, lit);
+        }
+        guard == predicted
+    }
+
+    fn criticality(&mut self, cand: &Candidate) -> f64 {
+        for c in self.mgr.support(cand.guard) {
+            let (op, _) = self.ct.inst_of(c).clone();
+            self.cprobs.set(c, self.probs.get(op));
+        }
+        let p = self.cprobs.probability(&self.mgr, cand.guard);
+        self.lambda[cand.op.index()] * p
+    }
+
+    fn issue(
+        &mut self,
+        sid: StateId,
+        ctx: &mut Ctx,
+        idx: usize,
+        start: f64,
+        issued: &mut BTreeSet<Key>,
+        class_use: &mut BTreeMap<String, u32>,
+    ) {
+        let cand = ctx.cands.remove(idx);
+        let kind = self.g.op(cand.op).kind();
+        let spec = self.lib.spec_for(kind);
+        let latency = spec.as_ref().map_or(0, |s| s.latency);
+        let frac = spec.as_ref().map_or(0.0, |s| s.frac_delay);
+        // Version numbers restart after invalidated versions are
+        // collected, so steady-state iterations produce identical names
+        // and can fold. Reusing a number retired on this path is safe:
+        // its old consumers executed before this state, so the registry
+        // overwrite cannot be observed.
+        let version = ctx
+            .avail
+            .range(Key::inst(cand.op, cand.iter.clone(), 0)..=Key::inst(cand.op, cand.iter.clone(), u32::MAX))
+            .filter(|(k, _)| k.op == cand.op && k.iter == cand.iter)
+            .map(|(k, _)| k.version + 1)
+            .max()
+            .unwrap_or(0);
+        let key = Key::inst(cand.op, cand.iter.clone(), version);
+        ctx.avail.insert(
+            key.clone(),
+            AvailInfo {
+                guard: cand.guard,
+                ready_in: latency,
+                depth: if latency > 1 { 2.0 } else { start + frac },
+                operands: cand.operands.clone(),
+            },
+        );
+        issued.insert(key.clone());
+        if let Some(s) = &spec {
+            let class_str = classify(kind).to_string();
+            *class_use.entry(class_str.clone()).or_insert(0) += 1;
+            if !s.pipelined && s.latency > 1 {
+                ctx.fu_busy.entry(class_str).or_default().push(s.latency);
+            }
+        }
+        if kind.has_side_effect() {
+            ctx.obligations.remove(&(cand.op, cand.iter.clone()));
+        }
+        if cand.guard.is_true() {
+            ctx.done.insert((cand.op, cand.iter.clone()));
+            ctx.cands
+                .retain(|c| !(c.op == cand.op && c.iter == cand.iter));
+        }
+        if self.g.op(cand.op).is_conditional() {
+            ctx.pending_conds
+                .push((key.clone(), cand.guard, latency.max(1)));
+        }
+        let guard_str = {
+            let ct = &self.ct;
+            let g = self.g;
+            self.mgr.to_sop_string(cand.guard, &|c| {
+                let (op, iter) = ct.inst_of(c);
+                let mut s = g.op(*op).name().to_string();
+                for i in iter {
+                    s.push('_');
+                    s.push_str(&i.to_string());
+                }
+                s
+            })
+        };
+        self.stg.state_mut(sid).ops.push(ScheduledOp {
+            inst: key_to_inst(&key),
+            operands: cand.operands.iter().map(valsrc_to_ref).collect(),
+            latency,
+            guard_str,
+        });
+        self.stats.issues += 1;
+    }
+
+    /// Generates candidates for every useful op over the live iteration
+    /// domain; bumps horizons and instantiates newly reachable
+    /// obligations.
+    fn sweep(&mut self, ctx: &mut Ctx) {
+        loop {
+            let mut domain = self.iter_domain(ctx);
+            self.cap_lookahead(ctx, &mut domain);
+            let mut added = 0usize;
+            for op in self.g.ops() {
+                if !self.useful[op.id().index()] || op.kind().is_source() {
+                    continue;
+                }
+                let iters = enumerate_iters(self.g, op.id(), &domain, ctx);
+                for iter in iters {
+                    let mut r = Res {
+                        g: self.g,
+                        tables: &self.tables,
+                        mgr: &mut self.mgr,
+                        ct: &mut self.ct,
+                    };
+                    let n = r.gen_candidates(ctx, op.id(), &iter, self.cfg.max_versions, self.cfg.max_spec_depth);
+                    if n > 0 {
+                        if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                            eprintln!("sweep: +{n} for {:?}@{:?}", op.id(), iter);
+                        }
+                        added += n;
+                        self.note_iteration(ctx, op.id(), &iter);
+                    }
+                }
+            }
+            if added == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Caps each loop context's candidate window at `max_spec_depth`
+    /// iterations beyond its oldest *unresolved* condition instance.
+    /// Without this, an independent counter chain (whose conditions keep
+    /// resolving) races arbitrarily far ahead of depth-starved
+    /// speculation at older iterations, stretching the live window so no
+    /// two contexts ever fold.
+    fn cap_lookahead(&mut self, ctx: &Ctx, domain: &mut BTreeMap<(LoopId, Iter), (u32, u32)>) {
+        let mut oldest: BTreeMap<(LoopId, Iter), u32> = BTreeMap::new();
+        let note_guard = |g: Guard, mgr: &BddManager, ct: &CondTable,
+                              oldest: &mut BTreeMap<(LoopId, Iter), u32>| {
+            for c in mgr.support(g) {
+                let (op, iter) = ct.inst_of(c).clone();
+                let path = self.g.op(op).loop_path();
+                for (d, &l) in path.iter().enumerate() {
+                    if d < iter.len() {
+                        let e = oldest.entry((l, iter[..d].to_vec())).or_insert(u32::MAX);
+                        *e = (*e).min(iter[d]);
+                    }
+                }
+            }
+        };
+        for info in ctx.avail.values() {
+            note_guard(info.guard, &self.mgr, &self.ct, &mut oldest);
+        }
+        for c in &ctx.cands {
+            note_guard(c.guard, &self.mgr, &self.ct, &mut oldest);
+        }
+        let depth = self.cfg.max_spec_depth as u32;
+        for (key, (lo, hi)) in domain.iter_mut() {
+            if let Some(&old) = oldest.get(key) {
+                if old != u32::MAX {
+                    *hi = (*hi).min(old.saturating_add(depth));
+                }
+            }
+            // Also: never unroll far past incomplete work. Resource-bound
+            // laggards (e.g. a single adder serving every iteration of a
+            // nested loop) would otherwise let independent counter chains
+            // race unboundedly ahead, making every context distinct. The
+            // speculative window covers deep pipelines (multi-cycle
+            // resolve lag on top of the speculation depth); the
+            // non-speculative window is tight — racing gains a
+            // control-resolved schedule nothing but context diversity.
+            let window = match self.cfg.mode {
+                Mode::NonSpeculative => 2,
+                _ => depth + 4,
+            };
+            let wf = ctx.work_floor.get(key).copied().unwrap_or(0);
+            *hi = (*hi).min(wf.saturating_add(window));
+            *lo = (*lo).min(*hi);
+        }
+    }
+
+    /// Records that iteration `iter` of `op`'s loop nest is
+    /// instantiated: bumps horizons and creates side-effect obligations
+    /// for newly opened iterations.
+    fn note_iteration(&mut self, ctx: &mut Ctx, op: OpId, iter: &Iter) {
+        let path: Vec<LoopId> = self.g.op(op).loop_path().to_vec();
+        for (d, &l) in path.iter().enumerate() {
+            let prefix: Iter = iter[..d].to_vec();
+            let k = iter[d];
+            let h = ctx.horizon.entry((l, prefix.clone())).or_insert(0);
+            if k <= *h {
+                continue;
+            }
+            *h = k;
+            // Newly opened iteration: instantiate the obligations of
+            // every effectful op directly inside this loop level (deeper
+            // levels open through their own horizon bumps at index 0).
+            let effects = self.tables.effects.clone();
+            for e in effects {
+                let epath = self.g.op(e).loop_path();
+                if epath.len() <= d || epath[d] != l || epath[..d] != path[..d] {
+                    continue;
+                }
+                let mut eiter: Iter = prefix.clone();
+                eiter.push(k);
+                eiter.extend(std::iter::repeat(0).take(epath.len() - d - 1));
+                if ctx.done.contains(&(e, eiter.clone())) {
+                    continue;
+                }
+                let mut r = Res {
+                    g: self.g,
+                    tables: &self.tables,
+                    mgr: &mut self.mgr,
+                    ct: &mut self.ct,
+                };
+                let guard = r.ctrl_guard(ctx, e, &eiter);
+                if !guard.is_false() {
+                    ctx.obligations.entry((e, eiter)).or_insert(guard);
+                }
+            }
+        }
+    }
+
+    /// The live iteration window per loop context, derived from the keys
+    /// present in the context (plus one beyond each horizon so loops can
+    /// keep unrolling).
+    fn iter_domain(&self, ctx: &Ctx) -> BTreeMap<(LoopId, Iter), (u32, u32)> {
+        let mut dom: BTreeMap<(LoopId, Iter), (u32, u32)> = BTreeMap::new();
+        let mut note = |op: OpId, iter: &Iter, g: &Cdfg| {
+            let path = g.op(op).loop_path();
+            for (d, &l) in path.iter().enumerate() {
+                if d >= iter.len() {
+                    break;
+                }
+                let e = dom
+                    .entry((l, iter[..d].to_vec()))
+                    .or_insert((u32::MAX, 0));
+                e.0 = e.0.min(iter[d]);
+                e.1 = e.1.max(iter[d]);
+            }
+        };
+        for k in ctx.avail.keys() {
+            note(k.op, &k.iter, self.g);
+        }
+        for c in &ctx.cands {
+            note(c.op, &c.iter, self.g);
+        }
+        for (op, iter) in ctx.obligations.keys() {
+            note(*op, iter, self.g);
+        }
+        for ((l, prefix), h) in &ctx.horizon {
+            let e = dom.entry((*l, prefix.clone())).or_insert((u32::MAX, 0));
+            e.0 = e.0.min(*h);
+            e.1 = e.1.max(h + 1);
+        }
+        for (key, e) in dom.iter_mut() {
+            if e.0 == u32::MAX {
+                e.0 = 0;
+            }
+            // Lagging (not-yet-done) iterations stay enumerable even when
+            // every live value has moved past them.
+            let wf = ctx.work_floor.get(key).copied().unwrap_or(0);
+            e.0 = e.0.min(wf);
+            e.1 = e.1.max(e.0 + 1);
+        }
+        dom
+    }
+
+    /// Promotes versions whose guard resolved to constant true:
+    /// consumption of their instance is decided.
+    fn promote_done(&mut self, ctx: &mut Ctx) {
+        let winners: Vec<(OpId, Iter)> = ctx
+            .avail
+            .iter()
+            .filter(|(_, info)| info.guard.is_true())
+            .map(|(k, _)| (k.op, k.iter.clone()))
+            .collect();
+        for w in winners {
+            if ctx.done.insert(w.clone()) {
+                ctx.cands.retain(|c| !(c.op == w.0 && c.iter == w.1));
+            }
+        }
+    }
+
+    /// Mark-and-sweep garbage collection of value versions no remaining
+    /// consumer (present or future) can reference, plus pruning of
+    /// per-iteration bookkeeping below the live window. Without this,
+    /// steady-state loop contexts would never fold.
+    fn gc(&mut self, ctx: &mut Ctx) {
+        let mut marks: BTreeSet<Key> = BTreeSet::new();
+        for c in &ctx.cands {
+            for o in &c.operands {
+                if let ValSrc::Key(k) = o {
+                    marks.insert(k.clone());
+                }
+            }
+            for t in c.tokens.iter().flatten() {
+                marks.insert(t.clone());
+            }
+        }
+        for (k, _, _) in &ctx.pending_conds {
+            marks.insert(k.clone());
+        }
+        // Potential-consumer sweep: any not-yet-decided instance marks
+        // every version that could still feed it.
+        let domain = self.iter_domain(ctx);
+        for op in self.g.ops() {
+            if !self.useful[op.id().index()] || op.kind().is_source() {
+                continue;
+            }
+            let iters = enumerate_iters(self.g, op.id(), &domain, ctx);
+            for iter in iters {
+                if ctx.done.contains(&(op.id(), iter.clone())) {
+                    continue;
+                }
+                let mut r = Res {
+                    g: self.g,
+                    tables: &self.tables,
+                    mgr: &mut self.mgr,
+                    ct: &mut self.ct,
+                };
+                let ctrl = r.ctrl_guard(ctx, op.id(), &iter);
+                if ctrl.is_false() {
+                    continue;
+                }
+                if op.kind().is_pass_through() {
+                    for (v, gv) in r.copy_versions(ctx, op.id(), &iter) {
+                        if let ValSrc::Key(k) = v {
+                            if !r.mgr.and(ctrl, gv).is_false() {
+                                marks.insert(k);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let ports: Vec<PortKind> = op.ports().to_vec();
+                for p in &ports {
+                    for (v, gv) in r.port_versions(ctx, p, op.id(), &iter) {
+                        if let ValSrc::Key(k) = v {
+                            if !r.mgr.and(ctrl, gv).is_false() {
+                                marks.insert(k);
+                            }
+                        }
+                    }
+                }
+                let order: Vec<PortKind> = op.order_deps().to_vec();
+                for p in &order {
+                    if let Ok(Some(k)) = r.token(ctx, p, op.id(), &iter) {
+                        marks.insert(k);
+                    }
+                }
+            }
+        }
+        if std::env::var_os("WAVESCHED_TRACE2").is_some() {
+            let probe = Key::inst(OpId::new(13), vec![1], 0);
+            if ctx.avail.contains_key(&probe) && !marks.contains(&probe) {
+                eprintln!("GC DROPS op13@[1]!");
+                let domain = self.iter_domain(ctx);
+                eprintln!("  domain: {domain:?}");
+                eprintln!("  done(5,[2,0])={}", ctx.done.contains(&(OpId::new(5), vec![2, 0])));
+                let mut r = Res { g: self.g, tables: &self.tables, mgr: &mut self.mgr, ct: &mut self.ct };
+                let cg = r.ctrl_guard(ctx, OpId::new(5), &vec![2, 0]);
+                eprintln!("  ctrl(5,[2,0])={cg}");
+                let pv = r.port_versions(ctx, &self.g.op(OpId::new(5)).ports()[1].clone(), OpId::new(5), &vec![2, 0]);
+                eprintln!("  port2 versions: {pv:?}");
+            }
+        }
+        ctx.avail.retain(|k, _| marks.contains(k));
+        // Tombstone operand provenance that references collected keys:
+        // keeping dead names would pin the iteration window open and
+        // block steady-state folding. (An emptied list can never collide
+        // with a real candidate's operand list, so re-issue dedup stays
+        // sound.)
+        let live: BTreeSet<Key> = ctx.avail.keys().cloned().collect();
+        for info in ctx.avail.values_mut() {
+            let dead = info
+                .operands
+                .iter()
+                .any(|o| matches!(o, ValSrc::Key(k) if !live.contains(k)));
+            if dead {
+                info.operands.clear();
+            }
+        }
+
+        // Advance work floors: iteration w of a loop context is complete
+        // when every direct member's instance at w is executed or
+        // control-dead (nested loops are covered by their materialized
+        // exit passes, themselves direct members).
+        let contexts: Vec<(LoopId, Iter)> = ctx.horizon.keys().cloned().collect();
+        for (l, prefix) in contexts {
+            let d = prefix.len();
+            let members: Vec<OpId> = self
+                .g
+                .loop_info(l)
+                .members()
+                .iter()
+                .copied()
+                .filter(|&m| {
+                    self.g.op(m).loop_path().len() == d + 1
+                        && !self.g.op(m).kind().is_source()
+                        && self.useful[m.index()]
+                })
+                .collect();
+            let horizon = ctx.horizon.get(&(l, prefix.clone())).copied().unwrap_or(0);
+            let mut wf = ctx
+                .work_floor
+                .get(&(l, prefix.clone()))
+                .copied()
+                .unwrap_or(0);
+            'advance: while wf <= horizon {
+                for &m in &members {
+                    let mut iter = prefix.clone();
+                    iter.push(wf);
+                    if ctx.done.contains(&(m, iter.clone())) {
+                        continue;
+                    }
+                    let mut r = Res {
+                        g: self.g,
+                        tables: &self.tables,
+                        mgr: &mut self.mgr,
+                        ct: &mut self.ct,
+                    };
+                    if !r.ctrl_guard(ctx, m, &iter).is_false() {
+                        break 'advance;
+                    }
+                }
+                wf += 1;
+            }
+            ctx.work_floor.insert((l, prefix), wf);
+        }
+
+        // Prune bookkeeping strictly below the enumeration domain: an
+        // instance that can never be enumerated again cannot be
+        // re-issued, so its done/resolved entries are dead weight that
+        // would otherwise block state folding. Pruning anything the
+        // domain can still reach would allow re-issue — the thresholds
+        // must be the very same bounds `sweep` enumerates with.
+        let mins = live_mins(self.g, ctx);
+        let domain = self.iter_domain(ctx);
+        let below = |op: OpId, iter: &Iter| -> bool {
+            let path = self.g.op(op).loop_path();
+            path.iter().enumerate().any(|(d, l)| {
+                if d >= iter.len() {
+                    return false;
+                }
+                match domain.get(&(*l, iter[..d].to_vec())) {
+                    Some((lo, _)) => iter[d] < *lo,
+                    None => false,
+                }
+            })
+        };
+        // Branch-condition resolutions are only ever referenced by
+        // same-iteration instances, so they die as soon as the live
+        // domain moves past their iteration. Loop-continue resolutions
+        // stay until the loop's bookkeeping is dropped (exit-view
+        // enumeration may still consult them).
+        let loop_conds: BTreeSet<OpId> =
+            self.tables.loop_of_cond.keys().copied().collect();
+        ctx.resolved.retain(|(op, iter), _| {
+            if loop_conds.contains(op) {
+                return !below(*op, iter);
+            }
+            let path = self.g.op(*op).loop_path();
+            for (d, &l) in path.iter().enumerate() {
+                if d >= iter.len() {
+                    break;
+                }
+                if let Some((lo, _)) = domain.get(&(l, iter[..d].to_vec())) {
+                    if iter[d] < *lo {
+                        return false;
+                    }
+                }
+            }
+            !below(*op, iter)
+        });
+        ctx.done.retain(|(op, iter)| !below(*op, iter));
+        // Horizons/floors: keep any loop that a live instance indexes, or
+        // that the fanin cone of a pending obligation / candidate can
+        // still reference through exit views.
+        let mut live_loops: BTreeSet<LoopId> = mins.keys().copied().collect();
+        for (op, _) in ctx.obligations.keys() {
+            live_loops.extend(self.loops_needed[op.index()].iter().copied());
+        }
+        for c in &ctx.cands {
+            live_loops.extend(self.loops_needed[c.op.index()].iter().copied());
+        }
+        // A loop context whose outer-iteration prefix left the
+        // enumeration domain can never be entered again; its horizons,
+        // floors and work floors are dead weight that would block
+        // folding.
+        let prefix_live = |l: LoopId, prefix: &Iter| -> bool {
+            let mut ancestors = Vec::new();
+            let mut cur = self.g.loop_info(l).parent();
+            while let Some(a) = cur {
+                ancestors.push(a);
+                cur = self.g.loop_info(a).parent();
+            }
+            ancestors.reverse();
+            prefix.iter().enumerate().all(|(d, &v)| {
+                let Some(&a) = ancestors.get(d) else {
+                    return false;
+                };
+                match domain.get(&(a, prefix[..d].to_vec())) {
+                    Some((lo, hi)) => *lo <= v && v <= *hi,
+                    None => false,
+                }
+            })
+        };
+        ctx.horizon
+            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
+        ctx.floor
+            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
+        ctx.work_floor
+            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
+    }
+
+    /// Partitions the context by the combinations of conditions resolved
+    /// at the end of this state (Fig. 12 step 4). Conditions whose
+    /// computing version turned out mis-speculated (validity guard
+    /// false) are discarded on that branch; conditions whose validity is
+    /// still undecided stay pending.
+    fn partition(&mut self, ctx: Ctx) -> Vec<(Vec<(Key, bool)>, Ctx)> {
+        let mut out = Vec::new();
+        self.part_rec(ctx, Vec::new(), &mut out);
+        out
+    }
+
+    fn part_rec(&mut self, mut ctx: Ctx, when: Vec<(Key, bool)>, out: &mut Vec<(Vec<(Key, bool)>, Ctx)>) {
+        let pos = ctx
+            .pending_conds
+            .iter()
+            .position(|(_, g, r)| *r == 0 && g.is_true());
+        let Some(i) = pos else {
+            out.push((when, ctx));
+            return;
+        };
+        let (key, _, _) = ctx.pending_conds.remove(i);
+        let inst: CondInst = (key.op, key.iter.clone());
+        // Already resolved through another version on this path? Then
+        // this version is redundant; drop it and continue.
+        if ctx.resolved.contains_key(&inst) {
+            self.part_rec(ctx, when, out);
+            return;
+        }
+        let var = self.ct.var(inst.clone());
+        for val in [true, false] {
+            let mut c2 = ctx.clone();
+            c2.cofactor(&mut self.mgr, var, val, inst.clone());
+            self.bump_floor(&mut c2, &inst, val);
+            let mut w2 = when.clone();
+            w2.push((key.clone(), val));
+            self.part_rec(c2, w2, out);
+        }
+    }
+
+    /// Advances the per-loop floor when the continue condition at the
+    /// current floor resolves true, absorbing the resolution history.
+    fn bump_floor(&mut self, ctx: &mut Ctx, inst: &CondInst, val: bool) {
+        if !val {
+            return;
+        }
+        let Some(&l) = self.tables.loop_of_cond.get(&inst.0) else {
+            return;
+        };
+        let d = self.g.op(inst.0).loop_path().len() - 1;
+        let prefix: Iter = inst.1[..d].to_vec();
+        let floor = ctx.floor.entry((l, prefix.clone())).or_insert(0);
+        loop {
+            let mut ci = prefix.clone();
+            ci.push(*floor);
+            let key: CondInst = (inst.0, ci);
+            if ctx.resolved.get(&key) == Some(&true) {
+                ctx.resolved.remove(&key);
+                *floor += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Ops from which a side effect or a control decision is reachable;
+/// everything else is dead code and never scheduled.
+fn useful_ops(g: &Cdfg) -> Vec<bool> {
+    let n = g.ops().len();
+    let mut useful = vec![false; n];
+    let mut stack: Vec<OpId> = Vec::new();
+    for op in g.ops() {
+        if op.kind().has_side_effect() {
+            useful[op.id().index()] = true;
+            stack.push(op.id());
+        }
+    }
+    while let Some(x) = stack.pop() {
+        let op = g.op(x);
+        let feed = |id: OpId, useful: &mut Vec<bool>, stack: &mut Vec<OpId>| {
+            if !useful[id.index()] {
+                useful[id.index()] = true;
+                stack.push(id);
+            }
+        };
+        for p in op.ports().iter().chain(op.order_deps()) {
+            match *p {
+                PortKind::Wire(s) => feed(s, &mut useful, &mut stack),
+                PortKind::Carried { src, init, .. } | PortKind::Exit { src, init, .. } => {
+                    feed(src, &mut useful, &mut stack);
+                    feed(init, &mut useful, &mut stack);
+                }
+            }
+        }
+        for d in op.ctrl_deps() {
+            feed(d.cond, &mut useful, &mut stack);
+        }
+        // Loop continue conditions of enclosing loops gate this op.
+        for &l in op.loop_path() {
+            feed(g.loop_info(l).cond(), &mut useful, &mut stack);
+        }
+    }
+    useful
+}
+
+/// For each op, the loops whose iteration bookkeeping its transitive
+/// fanin can reference: every loop on the path of any op reachable
+/// backwards through ports (all kinds, including carried/exit sources and
+/// inits), ordering edges, control conditions, and select steering.
+fn loops_needed(g: &Cdfg) -> Vec<BTreeSet<LoopId>> {
+    let n = g.ops().len();
+    // Direct fanin adjacency.
+    let mut fanin: Vec<Vec<OpId>> = vec![Vec::new(); n];
+    for op in g.ops() {
+        let add = |s: OpId, fanin: &mut Vec<Vec<OpId>>| fanin[op.id().index()].push(s);
+        for p in op.ports().iter().chain(op.order_deps()) {
+            match *p {
+                PortKind::Wire(s) => add(s, &mut fanin),
+                PortKind::Carried { src, init, .. } | PortKind::Exit { src, init, .. } => {
+                    add(src, &mut fanin);
+                    add(init, &mut fanin);
+                }
+            }
+        }
+        for d in op.ctrl_deps() {
+            if d.cond != op.id() {
+                fanin[op.id().index()].push(d.cond);
+            }
+        }
+    }
+    // Transitive closure of referenced loops, by fixpoint (the graph is
+    // cyclic through carried edges, so iterate to convergence).
+    let mut needed: Vec<BTreeSet<LoopId>> = g
+        .ops()
+        .iter()
+        .map(|o| o.loop_path().iter().copied().collect())
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let mut acc = needed[i].clone();
+            for s in &fanin[i] {
+                for l in &needed[s.index()] {
+                    acc.insert(*l);
+                }
+            }
+            if acc.len() != needed[i].len() {
+                needed[i] = acc;
+                changed = true;
+            }
+        }
+    }
+    needed
+}
+
+/// Deterministic tie-break order for candidates of equal criticality:
+/// earlier iterations first, then op id, then operand signature.
+fn cand_order(c: &Candidate) -> (Iter, OpId, Vec<ValSrc>) {
+    (c.iter.clone(), c.op, c.operands.clone())
+}
+
+fn key_to_inst(k: &Key) -> OpInst {
+    OpInst {
+        op: k.op,
+        iter: k.iter.clone(),
+        version: k.version,
+    }
+}
+
+fn valsrc_to_ref(v: &ValSrc) -> ValRef {
+    match v {
+        ValSrc::Const(c) => ValRef::Const(*c),
+        ValSrc::Input(i) => ValRef::Input(*i),
+        ValSrc::Key(k) => ValRef::Inst(key_to_inst(k)),
+    }
+}
+
+/// Enumerates the live iteration vectors for `op` given the per-loop
+/// windows.
+fn enumerate_iters(
+    g: &Cdfg,
+    op: OpId,
+    domain: &BTreeMap<(LoopId, Iter), (u32, u32)>,
+    ctx: &Ctx,
+) -> Vec<Iter> {
+    let path: Vec<LoopId> = g.op(op).loop_path().to_vec();
+    let mut out: Vec<Iter> = vec![Vec::new()];
+    for (d, &l) in path.iter().enumerate() {
+        let _ = d;
+        let mut next = Vec::new();
+        for prefix in &out {
+            let (lo, hi) = domain
+                .get(&(l, prefix.clone()))
+                .copied()
+                .unwrap_or_else(|| {
+                    let f = ctx
+                        .work_floor
+                        .get(&(l, prefix.clone()))
+                        .copied()
+                        .or_else(|| ctx.floor.get(&(l, prefix.clone())).copied())
+                        .unwrap_or(0);
+                    (f, f + 1)
+                });
+            for k in lo..=hi {
+                let mut it = prefix.clone();
+                it.push(k);
+                next.push(it);
+            }
+        }
+        out = next;
+        // Guard against pathological blowup in deeply nested domains.
+        if out.len() > 4096 {
+            out.truncate(4096);
+        }
+    }
+    out
+}
+
+/// Minimum live iteration index per loop, for bookkeeping pruning.
+fn live_mins(g: &Cdfg, ctx: &Ctx) -> BTreeMap<LoopId, u32> {
+    let mut mins: BTreeMap<LoopId, u32> = BTreeMap::new();
+    let mut note = |op: OpId, iter: &Iter| {
+        let path = g.op(op).loop_path();
+        for (d, &l) in path.iter().enumerate() {
+            if d < iter.len() {
+                let e = mins.entry(l).or_insert(u32::MAX);
+                *e = (*e).min(iter[d]);
+            }
+        }
+    };
+    for k in ctx.avail.keys() {
+        note(k.op, &k.iter);
+    }
+    for c in &ctx.cands {
+        note(c.op, &c.iter);
+    }
+    for (op, iter) in ctx.obligations.keys() {
+        note(*op, iter);
+    }
+    for (k, _, _) in &ctx.pending_conds {
+        note(k.op, &k.iter);
+    }
+    mins
+}
+
+/// Register relabelings for a fold edge.
+///
+/// Equal signatures guarantee the two contexts' value registries
+/// correspond positionally (the signature serializes `avail` in map
+/// order), so the rename map simply pairs the folding context's keys
+/// with the fold target's — realizing the variable relabelings of
+/// Example 10 without re-deriving shifts.
+fn fold_renames(ctx: &Ctx, old_keys: &[Key]) -> Vec<(OpInst, OpInst)> {
+    debug_assert_eq!(ctx.avail.len(), old_keys.len(), "signature collision");
+    ctx.avail
+        .keys()
+        .zip(old_keys)
+        .filter(|(new, old)| new != old)
+        .map(|(new, old)| (key_to_inst(new), key_to_inst(old)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_lang::Program;
+    use hls_resources::FuClass;
+
+    fn compile(src: &str) -> Cdfg {
+        hls_lang::lower::compile(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    fn sched(src: &str, mode: Mode, alloc: Allocation) -> ScheduleResult {
+        let g = compile(src);
+        schedule(
+            &g,
+            &Library::dac98(),
+            &alloc,
+            &BranchProbs::new(),
+            &SchedConfig::new(mode),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_line_schedules() {
+        let r = sched(
+            "design d { input a, b; output s; s = a + b; }",
+            Mode::Speculative,
+            Allocation::new().with(FuClass::Adder, 1),
+        );
+        assert!(r.stg.best_case_cycles().is_some());
+        assert!(r.stats.issues >= 2, "add and output");
+    }
+
+    #[test]
+    fn useful_ops_excludes_dead_code() {
+        let g = compile("design d { input a; output o; var dead = a * 3; o = a + 1; }");
+        let useful = useful_ops(&g);
+        let mul = g
+            .ops()
+            .iter()
+            .find(|o| o.kind() == cdfg::OpKind::Mul)
+            .unwrap();
+        assert!(!useful[mul.id().index()]);
+        let out = g
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind(), cdfg::OpKind::Output(_)))
+            .unwrap();
+        assert!(useful[out.id().index()]);
+    }
+
+    #[test]
+    fn branch_schedules_in_all_modes() {
+        for mode in [Mode::NonSpeculative, Mode::Speculative, Mode::SinglePath] {
+            let r = sched(
+                "design d { input a, b; output o; var x = 0;
+                 if (a > b) { x = a - b; } else { x = b - a; } o = x; }",
+                mode,
+                Allocation::new()
+                    .with(FuClass::Subtracter, 1)
+                    .with(FuClass::Comparator, 1),
+            );
+            assert!(
+                r.stg.best_case_cycles().is_some(),
+                "{mode}: STOP reachable"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_schedules_and_folds() {
+        for mode in [Mode::NonSpeculative, Mode::Speculative] {
+            let r = sched(
+                "design d { input n; output o; var i = 0;
+                 while (i < n) { i = i + 1; } o = i; }",
+                mode,
+                Allocation::new()
+                    .with(FuClass::Incrementer, 1)
+                    .with(FuClass::Comparator, 1),
+            );
+            assert!(r.stats.folds > 0, "{mode}: loop folds into steady state");
+            assert!(r.stg.best_case_cycles().is_some(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn missing_resource_is_reported_stuck() {
+        let g = compile("design d { input a, b; output s; s = a * b; }");
+        let err = schedule(
+            &g,
+            &Library::dac98(),
+            &Allocation::new(), // no multiplier granted
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::Stuck(_)), "{err}");
+    }
+
+    #[test]
+    fn nonpipelined_multiplier_occupies_two_states() {
+        // Two independent multiplies on one NON-pipelined 2-cycle unit
+        // cannot start in consecutive states.
+        let g = compile("design d { input a, b, c, e; output o; o = a * b + c * e; }");
+        let mut lib = Library::dac98();
+        lib.set(hls_resources::FuSpec {
+            class: FuClass::Multiplier,
+            latency: 2,
+            pipelined: false,
+            frac_delay: 1.0,
+            area: 900.0,
+        });
+        let r = schedule(
+            &g,
+            &lib,
+            &Allocation::new()
+                .with(FuClass::Multiplier, 1)
+                .with(FuClass::Adder, 1),
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        // Serial occupancy: 2 + 2 cycles of multiplier plus the add.
+        assert!(
+            r.stg.best_case_cycles().unwrap() >= 5,
+            "got {:?}",
+            r.stg.best_case_cycles()
+        );
+        // The same design on the pipelined unit overlaps the multiplies.
+        let r2 = schedule(
+            &g,
+            &Library::dac98(), // pipelined multiplier
+            &Allocation::new()
+                .with(FuClass::Multiplier, 1)
+                .with(FuClass::Adder, 1),
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        assert!(
+            r2.stg.best_case_cycles().unwrap() < r.stg.best_case_cycles().unwrap(),
+            "pipelining shortens the schedule: {:?} vs {:?}",
+            r2.stg.best_case_cycles(),
+            r.stg.best_case_cycles()
+        );
+    }
+
+    #[test]
+    fn memory_port_serializes_accesses() {
+        // Two reads of one single-ported memory occupy distinct states.
+        let g = compile(
+            "design d { input a; output o; mem M[4]; o = M[a] + M[a + 1]; }",
+        );
+        let r = schedule(
+            &g,
+            &Library::dac98(),
+            &Allocation::new()
+                .with(FuClass::Adder, 2)
+                .with(FuClass::Incrementer, 1),
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        for sid in r.stg.reachable() {
+            let reads = r
+                .stg
+                .state(sid)
+                .ops
+                .iter()
+                .filter(|o| matches!(g.op(o.inst.op).kind(), cdfg::OpKind::MemRead(_)))
+                .count();
+            assert!(reads <= 1, "state {sid} issues {reads} reads on one port");
+        }
+    }
+
+    #[test]
+    fn speculative_not_slower_in_states_for_branch() {
+        let src = "design d { input a, b; output o; var x = 0;
+             if (a > b) { x = (a - b) * 2; } else { x = (b - a) * 3; } o = x; }";
+        let alloc = || {
+            Allocation::new()
+                .with(FuClass::Subtracter, 2)
+                .with(FuClass::Comparator, 1)
+                .with(FuClass::Multiplier, 2)
+        };
+        let ns = sched(src, Mode::NonSpeculative, alloc());
+        let sp = sched(src, Mode::Speculative, alloc());
+        assert!(
+            sp.stg.best_case_cycles().unwrap() <= ns.stg.best_case_cycles().unwrap(),
+            "speculation never lengthens the best case"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Wavesched and Wavesched-spec: scheduling of control-flow intensive
+//! behavioral descriptions with fine-grained multi-path speculative
+//! execution.
+//!
+//! This crate implements the scheduling algorithm of
+//! *"Incorporating Speculative Execution into Scheduling of Control-flow
+//! Intensive Behavioral Descriptions"* (Lakshminarayana, Raghunathan,
+//! Jha — DAC 1998), together with the non-speculative Wavesched baseline
+//! it extends and the single-path-speculation policy it is compared
+//! against (Example 3 / Fig. 7).
+//!
+//! # Algorithm shape (Fig. 12 of the paper)
+//!
+//! The scheduler maintains a worklist of controller states, each carrying
+//! a *context*: the value versions computed so far (with their
+//! speculation-condition guards), in-flight multi-cycle operations,
+//! outstanding side-effect obligations, and the set of schedulable
+//! conditioned operation instances. Dequeuing a state:
+//!
+//! 1. partitions the schedulable set by the combinations of conditions
+//!    resolved in that state (guards are cofactored; operations whose
+//!    guard collapses to 0 are invalidated and dropped — Sec. 4.3
+//!    Step 2);
+//! 2. grows one successor state per combination by repeatedly selecting
+//!    the feasible candidate with the highest criticality
+//!    `λ(op) · P(guard)` (Eq. 5), honoring allocation constraints,
+//!    multi-cycle/pipelined unit occupancy and chaining limits, and
+//!    extending the schedulable set with newly enabled successors
+//!    (Observation 1, Lemma 1 — including speculation through selects,
+//!    across branch nests, and across loop iterations);
+//! 3. folds states that are equivalent to an existing state modulo a
+//!    uniform iteration-index shift, emitting register renames on the
+//!    fold edge (the variable relabelings of Example 10) — this is what
+//!    turns unbounded loop unrolling into finite steady-state pipelines
+//!    like Fig. 2(b)'s S7 ↔ S8.
+//!
+//! # Scheduling modes
+//!
+//! * [`Mode::NonSpeculative`] — the Wavesched baseline: an operation is
+//!   schedulable only once its control dependencies are resolved (guard
+//!   must already be constant-true). Implicit loop unrolling and
+//!   mutual-exclusion exploitation still apply.
+//! * [`Mode::Speculative`] — Wavesched-spec: fine-grain speculation along
+//!   *multiple* paths simultaneously, as resources allow.
+//! * [`Mode::SinglePath`] — speculation restricted to the most probable
+//!   outcome of every condition (the coarse-grain policy of [3, 5] that
+//!   Example 3 shows is dominated by multi-path speculation).
+//!
+//! # Example
+//!
+//! ```
+//! use hls_lang::Program;
+//! use hls_resources::{Allocation, FuClass, Library};
+//! use cdfg::analysis::BranchProbs;
+//! use wavesched::{schedule, Mode, SchedConfig};
+//!
+//! let p = Program::parse(
+//!     "design gcd { input x, y; output g; var a = x; var b = y;
+//!      while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } }
+//!      g = a; }",
+//! )?;
+//! let g = hls_lang::lower::compile(&p)?;
+//! let alloc = Allocation::new()
+//!     .with(FuClass::Subtracter, 2)
+//!     .with(FuClass::Comparator, 1)
+//!     .with(FuClass::EqComparator, 2);
+//! let result = schedule(
+//!     &g,
+//!     &Library::dac98(),
+//!     &alloc,
+//!     &BranchProbs::new(),
+//!     &SchedConfig::new(Mode::Speculative),
+//! )?;
+//! assert!(result.stg.working_state_count() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ctx;
+mod engine;
+mod resolve;
+
+pub use engine::{schedule, ScheduleResult, SchedStats};
+
+use std::fmt;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Wavesched baseline: no speculation; operations wait for their
+    /// control dependencies to resolve.
+    NonSpeculative,
+    /// Wavesched-spec: fine-grain multi-path speculative execution (the
+    /// paper's contribution).
+    Speculative,
+    /// Speculation only along the most probable outcome of each
+    /// condition (the coarse-grain baseline of Example 3 / Fig. 7).
+    SinglePath,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::NonSpeculative => write!(f, "wavesched"),
+            Mode::Speculative => write!(f, "wavesched-spec"),
+            Mode::SinglePath => write!(f, "single-path-spec"),
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// The scheduling policy.
+    pub mode: Mode,
+    /// Maximum number of unresolved conditions an operation may be
+    /// speculated on (the support size of its guard). Bounds the
+    /// speculation frontier; the paper's examples need ≤ 4.
+    pub max_spec_depth: usize,
+    /// Maximum number of simultaneously live versions per operation
+    /// instance (distinct operand choices, Example 6). Additional
+    /// versions beyond the most probable ones are not instantiated.
+    pub max_versions: usize,
+    /// Hard cap on controller states; exceeding it aborts with
+    /// [`SchedError::StateLimit`] rather than running away.
+    pub max_states: usize,
+    /// Hard cap on scheduling worklist iterations (safety net).
+    pub max_iterations: usize,
+}
+
+impl SchedConfig {
+    /// Defaults tuned for the paper's benchmark scale.
+    pub fn new(mode: Mode) -> Self {
+        SchedConfig {
+            mode,
+            max_spec_depth: 4,
+            max_versions: 4,
+            max_states: 2048,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Errors reported by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The state cap was exceeded (the design needs a larger
+    /// [`SchedConfig::max_states`] or a tighter speculation depth).
+    StateLimit(usize),
+    /// The worklist iteration cap was exceeded.
+    IterationLimit(usize),
+    /// The scheduler reached a context in which outstanding side effects
+    /// exist but nothing is schedulable — a resource deadlock, e.g. an
+    /// allocation that grants zero units of a class the design needs.
+    Stuck(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
+            SchedError::IterationLimit(n) => write!(f, "iteration limit of {n} exceeded"),
+            SchedError::Stuck(what) => write!(f, "scheduling deadlock: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(Mode::NonSpeculative.to_string(), "wavesched");
+        assert_eq!(Mode::Speculative.to_string(), "wavesched-spec");
+        assert_eq!(Mode::SinglePath.to_string(), "single-path-spec");
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = SchedConfig::new(Mode::Speculative);
+        assert_eq!(c.mode, Mode::Speculative);
+        assert!(c.max_spec_depth >= 2);
+        assert!(c.max_states >= 64);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SchedError::StateLimit(5).to_string().contains('5'));
+        assert!(SchedError::Stuck("no adder".into())
+            .to_string()
+            .contains("no adder"));
+    }
+}

@@ -1,0 +1,975 @@
+//! Operand and guard resolution: the realization of Lemma 1 and
+//! Observation 1 of the paper.
+//!
+//! Given a context, this module answers "which value versions can feed
+//! operation instance *(op, iter)*, and under which speculation
+//! condition?" Values are seen *through* structural pass-throughs
+//! (selects and passes): a select contributes both of its sides, each
+//! conjoined with the corresponding literal of its steering condition —
+//! that is exactly how `op7/(c(op1) ∧ c(op4))` and
+//! `op7/(c(op1) ∧ ¬c(op4))` arise in Example 6. Loop-carried edges
+//! select between the previous iteration's version and the initial
+//! value; loop-exit views enumerate every still-possible exit iteration.
+//!
+//! Guards are *full continuation chains*: a loop-body instance at
+//! iteration `k` is conditioned on `c_0 ∧ … ∧ c_k`, as in the paper's
+//! `∧_{k=j..i} c_k` — with already-resolved prefixes collapsing to
+//! constants through the context's resolution history and per-loop
+//! floors.
+
+use crate::ctx::{Candidate, CondInst, Ctx, Iter, Key, ValSrc};
+use cdfg::{Cdfg, CtrlKind, LoopId, OpId, OpKind, PortKind};
+use guards::{BddManager, Guard};
+use std::collections::HashMap;
+
+/// Immutable per-run scheduling tables shared by resolution and the
+/// engine.
+pub(crate) struct Tables {
+    /// For each op that is the continue condition of a loop, that loop.
+    pub loop_of_cond: HashMap<OpId, LoopId>,
+    /// Effectful ops (memory writes, outputs), for obligation
+    /// instantiation.
+    pub effects: Vec<OpId>,
+}
+
+impl Tables {
+    pub fn new(g: &Cdfg) -> Self {
+        let mut loop_of_cond = HashMap::new();
+        for l in g.loops() {
+            loop_of_cond.insert(l.cond(), l.id());
+        }
+        let effects = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind().has_side_effect())
+            .map(|o| o.id())
+            .collect();
+        Tables {
+            loop_of_cond,
+            effects,
+        }
+    }
+}
+
+/// Bundle of mutable scheduling state threaded through resolution.
+pub(crate) struct Res<'a> {
+    pub g: &'a Cdfg,
+    pub tables: &'a Tables,
+    pub mgr: &'a mut BddManager,
+    pub ct: &'a mut crate::ctx::CondTable,
+}
+
+impl Res<'_> {
+    /// The literal "condition instance `inst` evaluates to `value`",
+    /// collapsed to a constant when the context already knows the
+    /// outcome (resolution history or the per-loop floor of
+    /// iterations known to have continued).
+    pub fn lit(&mut self, ctx: &Ctx, inst: CondInst, value: bool) -> Guard {
+        if let Some(&v) = ctx.resolved.get(&inst) {
+            return if v == value { Guard::TRUE } else { Guard::FALSE };
+        }
+        if let Some(&l) = self.tables.loop_of_cond.get(&inst.0) {
+            // A loop-continue condition below the floor is known true on
+            // this path.
+            let d = self.g.op(inst.0).loop_path().len() - 1;
+            let prefix: Iter = inst.1[..d].to_vec();
+            let m = inst.1[d];
+            if let Some(&floor) = ctx.floor.get(&(l, prefix)) {
+                if m < floor {
+                    return if value { Guard::TRUE } else { Guard::FALSE };
+                }
+            }
+        }
+        let var = self.ct.var(inst);
+        self.mgr.literal(var, value)
+    }
+
+    /// The control guard of instance `(op, iter)`: branch literals plus
+    /// the full loop continuation chains (`c_0 ∧ … ∧ c_k` for body
+    /// members, `c_0 ∧ … ∧ c_{k−1}` for condition-cone members).
+    pub fn ctrl_guard(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Guard {
+        let mut acc = Guard::TRUE;
+        let deps: Vec<cdfg::CtrlDep> = self.g.op(op).ctrl_deps().to_vec();
+        for dep in deps {
+            match dep.kind {
+                CtrlKind::Branch => {
+                    let clen = self.g.op(dep.cond).loop_path().len();
+                    let l = self.lit(ctx, (dep.cond, iter[..clen].to_vec()), dep.polarity);
+                    acc = self.mgr.and(acc, l);
+                }
+                CtrlKind::LoopBody(lp) => {
+                    let d = depth_of(self.g, op, lp);
+                    let k = iter[d];
+                    acc = self.chain(ctx, acc, dep.cond, iter, d, 0..=k);
+                }
+                CtrlKind::LoopContinue(lp) => {
+                    let d = depth_of(self.g, op, lp);
+                    let k = iter[d];
+                    if k > 0 {
+                        acc = self.chain(ctx, acc, dep.cond, iter, d, 0..=(k - 1));
+                    }
+                }
+                // Exit gating is carried by the exit-view operand
+                // resolution (each exit version conjoins ¬c at its exit
+                // iteration), not by a static literal.
+                CtrlKind::LoopExit(_) => {}
+            }
+            if acc.is_false() {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    fn chain(
+        &mut self,
+        ctx: &Ctx,
+        mut acc: Guard,
+        cond: OpId,
+        iter: &Iter,
+        d: usize,
+        range: std::ops::RangeInclusive<u32>,
+    ) -> Guard {
+        let clen = self.g.op(cond).loop_path().len();
+        for m in range {
+            let mut ci = iter[..clen].to_vec();
+            ci[d] = m;
+            let l = self.lit(ctx, (cond, ci), true);
+            acc = self.mgr.and(acc, l);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// All currently derivable value versions of `(op, iter)` with
+    /// their validity guards. Pass-throughs (selects, passes) are
+    /// *scheduled* as free copy operations — each loop iteration's merge
+    /// gets a fresh registry name, which is what lets steady-state
+    /// contexts fold under a uniform iteration shift (the register
+    /// transfers of Fig. 14) — so their versions, like any real op's,
+    /// are their issued keys.
+    pub fn value_versions(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Vec<(ValSrc, Guard)> {
+        match self.g.op(op).kind() {
+            OpKind::Const(v) => vec![(ValSrc::Const(v), Guard::TRUE)],
+            OpKind::Input(i) => vec![(ValSrc::Input(i), Guard::TRUE)],
+            _ => {
+                // Issued versions (real ops and pass-through copies).
+                let mut out = Vec::new();
+                for (k, info) in ctx.avail.range(
+                    Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX),
+                ) {
+                    if k.op == op && &k.iter == iter && !info.guard.is_false() {
+                        out.push((ValSrc::Key(k.clone()), info.guard));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The values a pass-through *copy* candidate would capture: the
+    /// recursive resolution through the select/pass structure
+    /// (Observation 1 of the paper).
+    pub fn copy_versions(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Vec<(ValSrc, Guard)> {
+        match self.g.op(op).kind() {
+            OpKind::Pass => {
+                let port = self.g.op(op).ports()[0];
+                self.port_versions(ctx, &port, op, iter)
+            }
+            OpKind::Select => {
+                let ports: Vec<PortKind> = self.g.op(op).ports().to_vec();
+                // Steering resolves *structurally* to condition instances:
+                // speculation through a select must work before (and keep
+                // working after) the condition's value version exists —
+                // Example 6 schedules op7 while op4 is still unscheduled.
+                let steer = self.inst_versions(ctx, &ports[0], op, iter);
+                let mut out = Vec::new();
+                for ((sop, siter), gs) in steer {
+                    match self.g.op(sop).kind() {
+                        OpKind::Const(v) => {
+                            let side = if v != 0 { &ports[1] } else { &ports[2] };
+                            for (x, gx) in self.port_versions(ctx, side, op, iter) {
+                                let g = self.mgr.and(gs, gx);
+                                push_version(&mut out, x, g);
+                            }
+                        }
+                        OpKind::Input(_) => {
+                            panic!(
+                                "select steered directly by a primary input; \
+                                 route it through a condition-producing op"
+                            )
+                        }
+                        _ => {
+                            let inst: CondInst = (sop, siter.clone());
+                            for (side, pol) in [(&ports[1], true), (&ports[2], false)] {
+                                let lit = self.lit(ctx, inst.clone(), pol);
+                                let gsl = self.mgr.and(gs, lit);
+                                if gsl.is_false() {
+                                    continue;
+                                }
+                                for (x, gx) in self.port_versions(ctx, side, op, iter) {
+                                    let g = self.mgr.and(gsl, gx);
+                                    push_version(&mut out, x, g);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.merged(out)
+            }
+            other => panic!("copy_versions on non-pass-through {other}"),
+        }
+    }
+
+    /// Versions of one input port of `consumer` at `iter`, following the
+    /// port's wire / loop-carried / loop-exit semantics.
+    pub fn port_versions(
+        &mut self,
+        ctx: &Ctx,
+        port: &PortKind,
+        consumer: OpId,
+        iter: &Iter,
+    ) -> Vec<(ValSrc, Guard)> {
+        match *port {
+            PortKind::Wire(src) => {
+                let slen = self.g.op(src).loop_path().len();
+                self.value_versions(ctx, src, &iter[..slen].to_vec())
+            }
+            PortKind::Carried { lp, src, init } => {
+                let d = depth_of(self.g, consumer, lp);
+                let k = iter[d];
+                if k == 0 {
+                    let ilen = self.g.op(init).loop_path().len();
+                    self.value_versions(ctx, init, &iter[..ilen].to_vec())
+                } else {
+                    let slen = self.g.op(src).loop_path().len();
+                    let mut it = iter[..slen].to_vec();
+                    it[d] = k - 1;
+                    self.value_versions(ctx, src, &it)
+                }
+            }
+            PortKind::Exit { lp, src, init } => {
+                let cond = self.g.loop_info(lp).cond();
+                let pre_len = self.g.op(src).loop_path().len() - 1;
+                let base: Iter = iter
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat(0))
+                    .take(pre_len)
+                    .collect();
+                let mut out = Vec::new();
+                // Exit before the first iteration: the initial value,
+                // valid when c_0 is false.
+                let ilen = self.g.op(init).loop_path().len();
+                let init_iter: Iter = base[..ilen.min(base.len())].to_vec();
+                let exit0 = {
+                    let mut ci = base.clone();
+                    ci.push(0);
+                    self.lit(ctx, (cond, ci), false)
+                };
+                if !exit0.is_false() {
+                    for (x, gx) in self.value_versions(ctx, init, &init_iter) {
+                        let g = self.mgr.and(exit0, gx);
+                        push_version(&mut out, x, g);
+                    }
+                }
+                // Exit after iteration j: src@j, valid when c_{j+1} is
+                // false (src@j's own guard carries the continuation
+                // chain up to c_j).
+                let h = ctx.horizon.get(&(lp, base.clone())).copied().unwrap_or(0);
+                for j in 0..=h {
+                    let mut si = base.clone();
+                    si.push(j);
+                    let vs = self.value_versions(ctx, src, &si);
+                    if vs.is_empty() {
+                        continue;
+                    }
+                    // Exit after iteration j: the loop must have continued
+                    // through iterations 0..=j and stopped at j+1. The
+                    // explicit chain matters when the value short-circuits
+                    // through selects to a loop-invariant source whose own
+                    // guard carries no continuation history.
+                    let mut ci = base.clone();
+                    ci.push(j + 1);
+                    let mut exit_g = self.lit(ctx, (cond, ci), false);
+                    exit_g = self.chain(ctx, exit_g, cond, &si, base.len(), 0..=j);
+                    if exit_g.is_false() {
+                        continue;
+                    }
+                    for (x, gx) in vs {
+                        let g = self.mgr.and(exit_g, gx);
+                        push_version(&mut out, x, g);
+                    }
+                }
+                self.merged(out)
+            }
+        }
+    }
+
+    /// Resolves a port *structurally* to the operation instances that
+    /// could produce its value, with the guards selecting among them —
+    /// without requiring any value version to exist yet. Used for select
+    /// steering, where only the condition's *identity* matters.
+    pub fn inst_versions(
+        &mut self,
+        ctx: &Ctx,
+        port: &PortKind,
+        consumer: OpId,
+        iter: &Iter,
+    ) -> Vec<((OpId, Iter), Guard)> {
+        match *port {
+            PortKind::Wire(src) => {
+                let slen = self.g.op(src).loop_path().len();
+                self.inst_of(ctx, src, &iter[..slen].to_vec())
+            }
+            PortKind::Carried { lp, src, init } => {
+                let d = depth_of(self.g, consumer, lp);
+                let k = iter[d];
+                if k == 0 {
+                    let ilen = self.g.op(init).loop_path().len();
+                    self.inst_of(ctx, init, &iter[..ilen].to_vec())
+                } else {
+                    let slen = self.g.op(src).loop_path().len();
+                    let mut it = iter[..slen].to_vec();
+                    it[d] = k - 1;
+                    self.inst_of(ctx, src, &it)
+                }
+            }
+            PortKind::Exit { lp, src, init } => {
+                let cond = self.g.loop_info(lp).cond();
+                let pre_len = self.g.op(src).loop_path().len() - 1;
+                let base: Iter = iter
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat(0))
+                    .take(pre_len)
+                    .collect();
+                let mut out = Vec::new();
+                let ilen = self.g.op(init).loop_path().len();
+                let exit0 = {
+                    let mut ci = base.clone();
+                    ci.push(0);
+                    self.lit(ctx, (cond, ci), false)
+                };
+                if !exit0.is_false() {
+                    for (i, gi) in self.inst_of(ctx, init, &base[..ilen.min(base.len())].to_vec())
+                    {
+                        let g = self.mgr.and(exit0, gi);
+                        if !g.is_false() {
+                            out.push((i, g));
+                        }
+                    }
+                }
+                let h = ctx.horizon.get(&(lp, base.clone())).copied().unwrap_or(0);
+                for j in 0..=h {
+                    let mut si = base.clone();
+                    si.push(j);
+                    let mut ci = base.clone();
+                    ci.push(j + 1);
+                    let mut exit_g = self.lit(ctx, (cond, ci), false);
+                    exit_g = self.chain(ctx, exit_g, cond, &si, base.len(), 0..=j);
+                    if exit_g.is_false() {
+                        continue;
+                    }
+                    for (i, gi) in self.inst_of(ctx, src, &si) {
+                        let g = self.mgr.and(exit_g, gi);
+                        if !g.is_false() {
+                            out.push((i, g));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Structural instance resolution of an op: pass-throughs forward,
+    /// selects fan out by their steering literal, everything else is
+    /// itself.
+    fn inst_of(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Vec<((OpId, Iter), Guard)> {
+        match self.g.op(op).kind() {
+            OpKind::Pass => {
+                let port = self.g.op(op).ports()[0];
+                self.inst_versions(ctx, &port, op, iter)
+            }
+            OpKind::Select => {
+                let ports: Vec<PortKind> = self.g.op(op).ports().to_vec();
+                let steer = self.inst_versions(ctx, &ports[0], op, iter);
+                let mut out = Vec::new();
+                for ((sop, siter), gs) in steer {
+                    match self.g.op(sop).kind() {
+                        OpKind::Const(v) => {
+                            let side = if v != 0 { &ports[1] } else { &ports[2] };
+                            for (i, gi) in self.inst_versions(ctx, side, op, iter) {
+                                let g = self.mgr.and(gs, gi);
+                                if !g.is_false() {
+                                    out.push((i, g));
+                                }
+                            }
+                        }
+                        _ => {
+                            let inst: CondInst = (sop, siter.clone());
+                            for (side, pol) in [(&ports[1], true), (&ports[2], false)] {
+                                let lit = self.lit(ctx, inst.clone(), pol);
+                                let gsl = self.mgr.and(gs, lit);
+                                if gsl.is_false() {
+                                    continue;
+                                }
+                                for (i, gi) in self.inst_versions(ctx, side, op, iter) {
+                                    let g = self.mgr.and(gsl, gi);
+                                    if !g.is_false() {
+                                        out.push((i, g));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            _ => vec![((op, iter.clone()), Guard::TRUE)],
+        }
+    }
+
+    /// Resolves a memory-ordering dependency of `(consumer, iter)`
+    /// through `port`: returns `Ok(Some(key))` when the predecessor
+    /// access has executed (issue must wait for a later state than the
+    /// predecessor's), `Ok(None)` when the predecessor can no longer
+    /// execute on this path (bypass), and `Err(())` when the
+    /// predecessor's fate is not yet settled (try again later).
+    pub fn token(
+        &mut self,
+        ctx: &Ctx,
+        port: &PortKind,
+        consumer: OpId,
+        iter: &Iter,
+    ) -> Result<Option<Key>, ()> {
+        // Resolve the port structurally to the predecessor instance(s).
+        // Ordering chains never go through selects, so a port resolves to
+        // one concrete predecessor instance per exit/carried case; we
+        // require the *settled* union: every possibly-executing
+        // predecessor has executed.
+        match *port {
+            PortKind::Wire(src) => {
+                let slen = self.g.op(src).loop_path().len();
+                let si: Iter = iter[..slen].to_vec();
+                self.settled(ctx, src, &si)
+            }
+            PortKind::Carried { lp, src, init } => {
+                let d = depth_of(self.g, consumer, lp);
+                let k = iter[d];
+                if k == 0 {
+                    let ilen = self.g.op(init).loop_path().len();
+                    self.settled(ctx, init, &iter[..ilen].to_vec())
+                } else {
+                    let slen = self.g.op(src).loop_path().len();
+                    let mut it = iter[..slen].to_vec();
+                    it[d] = k - 1;
+                    self.settled(ctx, src, &it)
+                }
+            }
+            PortKind::Exit { lp, src, .. } => {
+                // Ordered after the loop's accesses: settled only when
+                // the loop has exited on this path (the exit consumer's
+                // own guard handles which iteration); conservatively
+                // require the last *instantiated* iteration's access to
+                // be settled.
+                let pre_len = self.g.op(src).loop_path().len() - 1;
+                let base: Iter = iter
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat(0))
+                    .take(pre_len)
+                    .collect();
+                let h = ctx.horizon.get(&(lp, base.clone())).copied().unwrap_or(0);
+                let mut si = base;
+                si.push(h);
+                self.settled(ctx, src, &si)
+            }
+        }
+    }
+
+    /// Is the access instance `(op, iter)` settled: executed (returns its
+    /// token key), or provably never executing on this path (returns
+    /// `None` after checking *its* predecessor chain)?
+    fn settled(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Result<Option<Key>, ()> {
+        // Pass-throughs in the chain (exit views of tokens) forward to
+        // their producer.
+        if self.g.op(op).kind() == OpKind::Pass {
+            let port = self.g.op(op).ports()[0];
+            return self.token(ctx, &port, op, iter);
+        }
+        if self.g.op(op).kind().is_source() {
+            return Ok(None);
+        }
+        // Executed?
+        for (k, _) in ctx
+            .avail
+            .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
+        {
+            if k.op == op && &k.iter == iter {
+                return Ok(Some(k.clone()));
+            }
+        }
+        // Dead?
+        let ctrl = self.ctrl_guard(ctx, op, iter);
+        if ctrl.is_false() {
+            // The predecessor never executes here; ordering falls back to
+            // *its* predecessors.
+            let ports: Vec<PortKind> = self.g.op(op).order_deps().to_vec();
+            let mut best: Option<Key> = None;
+            for p in ports {
+                match self.token(ctx, &p, op, iter)? {
+                    None => {}
+                    Some(k) => best = Some(best.map_or(k.clone(), |b| b.max(k))),
+                }
+            }
+            return Ok(best);
+        }
+        Err(())
+    }
+
+    /// Attempts to build candidates for instance `(op, iter)`: the
+    /// cartesian product of its ports' version sets, each with the
+    /// Lemma-1 conjunction guard. New candidates are deduplicated
+    /// against `ctx.seen` and appended to `ctx.cands`. Returns how many
+    /// were added.
+    pub fn gen_candidates(
+        &mut self,
+        ctx: &mut Ctx,
+        op: OpId,
+        iter: &Iter,
+        max_versions: usize,
+        max_depth: usize,
+    ) -> usize {
+        let kind = self.g.op(op).kind();
+        if kind.is_source() {
+            return 0;
+        }
+        if ctx.done.contains(&(op, iter.clone())) {
+            return 0;
+        }
+        let ctrl = self.ctrl_guard(ctx, op, iter);
+        if ctrl.is_false() {
+            return 0;
+        }
+        if kind.is_pass_through() {
+            // Copy candidates: one per resolvable source version. The
+            // issued copy is the fresh per-iteration name of the merged
+            // variable (a register transfer).
+            let versions = self.copy_versions(ctx, op, iter);
+            let mut added = 0;
+            for (v, gv) in versions {
+                let guard = self.mgr.and(ctrl, gv);
+                if guard.is_false() || self.mgr.support(guard).len() > max_depth {
+                    continue;
+                }
+                let operands = vec![v];
+                if let Some(c) = ctx
+                    .cands
+                    .iter_mut()
+                    .find(|c| c.op == op && c.iter == *iter && c.operands == operands)
+                {
+                    let widened = self.mgr.or(c.guard, guard);
+                    if widened != c.guard {
+                        c.guard = widened;
+                        added += 1;
+                    }
+                    continue;
+                }
+                let issued = ctx
+                    .avail
+                    .range(
+                        Key::inst(op, iter.clone(), 0)
+                            ..=Key::inst(op, iter.clone(), u32::MAX),
+                    )
+                    .any(|(k, info)| {
+                        k.op == op && &k.iter == iter && info.operands == operands
+                    });
+                if issued {
+                    continue;
+                }
+                let live = ctx
+                    .avail
+                    .range(
+                        Key::inst(op, iter.clone(), 0)
+                            ..=Key::inst(op, iter.clone(), u32::MAX),
+                    )
+                    .count()
+                    + ctx
+                        .cands
+                        .iter()
+                        .filter(|c| c.op == op && &c.iter == iter)
+                        .count();
+                if live >= max_versions {
+                    break;
+                }
+                ctx.cands.push(Candidate {
+                    op,
+                    iter: iter.clone(),
+                    operands,
+                    tokens: Vec::new(),
+                    guard,
+                });
+                added += 1;
+            }
+            return added;
+        }
+        // Resolve ordering tokens first; unsettled ordering defers the
+        // whole instance.
+        let order_ports: Vec<PortKind> = self.g.op(op).order_deps().to_vec();
+        let mut tokens = Vec::new();
+        for p in &order_ports {
+            match self.token(ctx, p, op, iter) {
+                Ok(t) => tokens.push(t),
+                Err(()) => return 0,
+            }
+        }
+        let ports: Vec<PortKind> = self.g.op(op).ports().to_vec();
+        let mut combos: Vec<(Vec<ValSrc>, Guard)> = vec![(Vec::new(), ctrl)];
+        for p in &ports {
+            let versions = self.port_versions(ctx, p, op, iter);
+            if versions.is_empty() {
+                return 0;
+            }
+            let mut next = Vec::new();
+            for (ops_so_far, g_so_far) in &combos {
+                for (v, gv) in &versions {
+                    let g = self.mgr.and(*g_so_far, *gv);
+                    if g.is_false() {
+                        continue;
+                    }
+                    let mut o = ops_so_far.clone();
+                    o.push(v.clone());
+                    next.push((o, g));
+                }
+            }
+            combos = next;
+            if combos.is_empty() {
+                return 0;
+            }
+            if combos.len() > 64 {
+                combos.truncate(64);
+            }
+        }
+        let existing = ctx
+            .avail
+            .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
+            .count()
+            + ctx
+                .cands
+                .iter()
+                .filter(|c| c.op == op && &c.iter == iter)
+                .count();
+        let mut added = 0;
+        for (operands, guard) in combos {
+            // Bounding candidate creation (not just issue) by the
+            // speculation depth keeps the unrolling horizon finite:
+            // deeper iterations' continuation chains exceed the depth
+            // until earlier conditions resolve.
+            if self.mgr.support(guard).len() > max_depth {
+                continue;
+            }
+            // An existing candidate with the same operand choice absorbs
+            // the new guard (a new exit iteration opening widens the
+            // condition under which this choice is the right one).
+            if let Some(c) = ctx
+                .cands
+                .iter_mut()
+                .find(|c| c.op == op && c.iter == *iter && c.operands == operands)
+            {
+                let widened = self.mgr.or(c.guard, guard);
+                if widened != c.guard {
+                    c.guard = widened;
+                    added += 1;
+                }
+                continue;
+            }
+            // Already issued with this exact operand choice? Never
+            // re-execute.
+            let issued = ctx
+                .avail
+                .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
+                .any(|(k, info)| k.op == op && &k.iter == iter && info.operands == operands);
+            if issued {
+                continue;
+            }
+            if existing + added >= max_versions {
+                break;
+            }
+            ctx.cands.push(Candidate {
+                op,
+                iter: iter.clone(),
+                operands,
+                tokens: tokens.clone(),
+                guard,
+            });
+            added += 1;
+        }
+        added
+    }
+}
+
+/// Depth of loop `lp` within `op`'s loop path.
+///
+/// # Panics
+///
+/// Panics if `op` is not inside `lp` (a CDFG validation invariant).
+pub(crate) fn depth_of(g: &Cdfg, op: OpId, lp: LoopId) -> usize {
+    g.op(op)
+        .loop_path()
+        .iter()
+        .position(|&l| l == lp)
+        .expect("op is inside the loop (validated)")
+}
+
+fn push_version(out: &mut Vec<(ValSrc, Guard)>, v: ValSrc, g: Guard) {
+    if g.is_false() {
+        return;
+    }
+    out.push((v, g));
+}
+
+impl Res<'_> {
+    /// Merges duplicate sources by OR-ing their guards (both sides of a
+    /// select fed by the same producer, or an exit view whose init equals
+    /// an early body value).
+    pub fn merged(&mut self, versions: Vec<(ValSrc, Guard)>) -> Vec<(ValSrc, Guard)> {
+        let mut out: Vec<(ValSrc, Guard)> = Vec::with_capacity(versions.len());
+        for (v, g) in versions {
+            if let Some(slot) = out.iter_mut().find(|(x, _)| *x == v) {
+                slot.1 = self.mgr.or(slot.1, g);
+            } else {
+                out.push((v, g));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CondTable;
+    use cdfg::{CdfgBuilder, Src};
+    use guards::BddManager;
+
+    /// while (i < n) { if (i > 2) { acc = acc + i } i = i + 1 } o = acc
+    fn branchy_loop() -> (Cdfg, OpId, OpId, OpId) {
+        let mut b = CdfgBuilder::new("t");
+        let n = b.input("n");
+        let zero = b.constant(0);
+        b.begin_loop();
+        let i = b.carried(zero);
+        let acc = b.carried(zero);
+        let cont = b.op(OpKind::Lt, &[Src::Carried(i), Src::Op(n)]);
+        b.loop_condition(cont);
+        let two = b.constant(2);
+        let branch = b.op(OpKind::Gt, &[Src::Carried(i), Src::Op(two)]);
+        b.begin_if(branch);
+        let sum = b.op(OpKind::Add, &[Src::Carried(acc), Src::Carried(i)]);
+        b.end_if();
+        let merged = b.select(Src::Op(branch), Src::Op(sum), Src::Carried(acc));
+        b.set_carried(acc, merged);
+        let inc = b.op(OpKind::Inc, &[Src::Carried(i)]);
+        b.set_carried(i, inc);
+        b.end_loop();
+        let e = b.exit_value(acc);
+        b.output("o", Src::Op(e));
+        let g = b.finish().unwrap();
+        (g, cont, branch, sum)
+    }
+
+    fn res_env(g: &Cdfg) -> (Tables, BddManager, CondTable) {
+        (Tables::new(g), BddManager::new(), CondTable::default())
+    }
+
+    #[test]
+    fn ctrl_guard_builds_full_continuation_chain() {
+        let (g, cont, _branch, sum) = branchy_loop();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let ctx = Ctx::default();
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        // The branch-gated add at iteration 2 is conditioned on
+        // c_cont@0 ∧ c_cont@1 ∧ c_cont@2 ∧ c_branch@2.
+        let guard = r.ctrl_guard(&ctx, sum, &vec![2]);
+        let support = r.mgr.support(guard);
+        assert_eq!(support.len(), 4);
+        let insts: Vec<CondInst> = support.iter().map(|c| r.ct.inst_of(*c).clone()).collect();
+        for k in 0..=2u32 {
+            assert!(insts.contains(&(cont, vec![k])), "chain misses c@{k}");
+        }
+    }
+
+    #[test]
+    fn resolved_and_floor_collapse_literals() {
+        let (g, cont, _branch, sum) = branchy_loop();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let mut ctx = Ctx::default();
+        let lp = g.loops()[0].id();
+        ctx.floor.insert((lp, vec![]), 2); // c@0, c@1 known true
+        ctx.resolved.insert((cont, vec![2]), true);
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        let guard = r.ctrl_guard(&ctx, sum, &vec![2]);
+        // Only the branch literal remains.
+        assert_eq!(r.mgr.support(guard).len(), 1);
+        // And a resolved-false continuation kills the instance outright.
+        ctx.resolved.insert((cont, vec![2]), false);
+        let dead = r.ctrl_guard(&ctx, sum, &vec![2]);
+        assert!(dead.is_false());
+    }
+
+    #[test]
+    fn select_steering_resolves_structurally_without_values() {
+        // Example 6's point: consumers can speculate through a select
+        // before the steering condition is computed.
+        let (g, _cont, branch, sum) = branchy_loop();
+        let sel = g
+            .ops()
+            .iter()
+            .find(|o| o.kind() == OpKind::Select)
+            .unwrap()
+            .id();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let mut ctx = Ctx::default();
+        // Issue only the true-side add at iteration 0 so one side of the
+        // select has a value; the steering Gt is entirely unscheduled.
+        ctx.avail.insert(
+            crate::ctx::Key::inst(sum, vec![0], 0),
+            crate::ctx::AvailInfo {
+                guard: Guard::TRUE,
+                ready_in: 0,
+                depth: 0.0,
+                operands: vec![],
+            },
+        );
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        let versions = r.copy_versions(&ctx, sel, &vec![0]);
+        // Two versions: the issued add under c_branch@0, and the carried
+        // init (constant 0) under ¬c_branch@0.
+        assert_eq!(versions.len(), 2);
+        let has_key = versions
+            .iter()
+            .any(|(v, gd)| matches!(v, ValSrc::Key(k) if k.op == sum) && !gd.is_true());
+        let has_const = versions
+            .iter()
+            .any(|(v, _)| matches!(v, ValSrc::Const(0)));
+        assert!(has_key && has_const);
+        // Each version's guard mentions the unscheduled steering cond.
+        for (_, gd) in &versions {
+            let insts: Vec<CondInst> = r
+                .mgr
+                .support(*gd)
+                .iter()
+                .map(|c| r.ct.inst_of(*c).clone())
+                .collect();
+            assert!(insts.contains(&(branch, vec![0])));
+        }
+    }
+
+    #[test]
+    fn exit_views_enumerate_possible_exit_iterations() {
+        let (g, cont, _branch, _sum) = branchy_loop();
+        let exit_pass = g
+            .ops()
+            .iter()
+            .find(|o| o.kind() == OpKind::Pass)
+            .unwrap()
+            .id();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let mut ctx = Ctx::default();
+        let lp = g.loops()[0].id();
+        ctx.horizon.insert((lp, vec![]), 1);
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        // With nothing issued, only the exit-at-0 (init) version exists.
+        let versions = r.copy_versions(&ctx, exit_pass, &vec![]);
+        assert_eq!(versions.len(), 1);
+        let (v, gd) = &versions[0];
+        assert!(matches!(v, ValSrc::Const(0)), "init value");
+        // Guarded on ¬c@0.
+        let insts: Vec<CondInst> = r
+            .mgr
+            .support(*gd)
+            .iter()
+            .map(|c| r.ct.inst_of(*c).clone())
+            .collect();
+        assert_eq!(insts, vec![(cont, vec![0])]);
+    }
+
+    #[test]
+    fn gen_candidates_dedups_and_widens() {
+        let (g, cont, _branch, _sum) = branchy_loop();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let mut ctx = Ctx::default();
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        let n1 = r.gen_candidates(&mut ctx, cont, &vec![0], 4, 4);
+        assert_eq!(n1, 1, "the iteration-0 continue test is schedulable");
+        let n2 = r.gen_candidates(&mut ctx, cont, &vec![0], 4, 4);
+        assert_eq!(n2, 0, "regeneration with identical operands dedups");
+        assert_eq!(ctx.cands.len(), 1);
+    }
+
+    #[test]
+    fn depth_cap_blocks_deep_chains() {
+        let (g, _cont, _branch, _sum) = branchy_loop();
+        let inc = g
+            .ops()
+            .iter()
+            .find(|o| o.kind() == OpKind::Inc)
+            .unwrap()
+            .id();
+        let (tables, mut mgr, mut ct) = res_env(&g);
+        let mut ctx = Ctx::default();
+        let mut r = Res {
+            g: &g,
+            tables: &tables,
+            mgr: &mut mgr,
+            ct: &mut ct,
+        };
+        // Iteration 0 increments are within any cap...
+        assert_eq!(r.gen_candidates(&mut ctx, inc, &vec![0], 4, 1), 1);
+        // ...but iteration 2 needs a 3-condition chain plus operand
+        // availability; even with values present, a cap of 1 blocks it.
+        ctx.avail.insert(
+            crate::ctx::Key::inst(inc, vec![1], 0),
+            crate::ctx::AvailInfo {
+                guard: Guard::TRUE,
+                ready_in: 0,
+                depth: 0.0,
+                operands: vec![],
+            },
+        );
+        assert_eq!(
+            r.gen_candidates(&mut ctx, inc, &vec![2], 4, 1),
+            0,
+            "chain support exceeds the speculation depth"
+        );
+    }
+}

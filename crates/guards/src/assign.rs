@@ -1,0 +1,150 @@
+//! Partial assignments of condition outcomes.
+
+use crate::Cond;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A partial mapping from conditions to Boolean outcomes.
+///
+/// The scheduler uses assignments in two places: to describe the combination
+/// of resolved conditions labelling an STG transition (Fig. 12 step 4), and
+/// as the substitution applied when validating/invalidating speculative
+/// operations (Sec. 4.3, Step 2).
+///
+/// Iteration order is the condition order, so `Display` and comparisons are
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use guards::{Assignment, Cond};
+/// let mut a = Assignment::new();
+/// a.set(Cond::new(1), true);
+/// a.set(Cond::new(0), false);
+/// assert_eq!(a.to_string(), "!c0.c1");
+/// assert_eq!(a.get(Cond::new(1)), Some(true));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    map: BTreeMap<Cond, bool>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an assignment from `(condition, value)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Cond, bool)>>(pairs: I) -> Self {
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Records `cond = value`, returning the previous value if any.
+    pub fn set(&mut self, cond: Cond, value: bool) -> Option<bool> {
+        self.map.insert(cond, value)
+    }
+
+    /// Removes `cond` from the assignment.
+    pub fn unset(&mut self, cond: Cond) -> Option<bool> {
+        self.map.remove(&cond)
+    }
+
+    /// Looks up the value assigned to `cond`.
+    pub fn get(&self, cond: Cond) -> Option<bool> {
+        self.map.get(&cond).copied()
+    }
+
+    /// Returns `true` if no conditions are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of assigned conditions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(condition, value)` pairs in condition order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cond, bool)> + '_ {
+        self.map.iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// The assigned conditions, in order.
+    pub fn conds(&self) -> impl Iterator<Item = Cond> + '_ {
+        self.map.keys().copied()
+    }
+}
+
+impl FromIterator<(Cond, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (Cond, bool)>>(iter: I) -> Self {
+        Assignment::from_pairs(iter)
+    }
+}
+
+impl Extend<(Cond, bool)> for Assignment {
+    fn extend<I: IntoIterator<Item = (Cond, bool)>>(&mut self, iter: I) {
+        self.map.extend(iter);
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.map.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (c, v) in self.iter() {
+            if !first {
+                write!(f, ".")?;
+            }
+            first = false;
+            if v {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, "!{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut a = Assignment::new();
+        assert!(a.is_empty());
+        assert_eq!(a.set(Cond::new(2), true), None);
+        assert_eq!(a.set(Cond::new(2), false), Some(true));
+        assert_eq!(a.get(Cond::new(2)), Some(false));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.unset(Cond::new(2)), Some(false));
+        assert!(a.get(Cond::new(2)).is_none());
+    }
+
+    #[test]
+    fn display_empty_is_one() {
+        assert_eq!(Assignment::new().to_string(), "1");
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let a = Assignment::from_pairs([(Cond::new(3), true), (Cond::new(1), false)]);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![(Cond::new(1), false), (Cond::new(3), true)]);
+        assert_eq!(a.to_string(), "!c1.c3");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut a: Assignment = [(Cond::new(0), true)].into_iter().collect();
+        a.extend([(Cond::new(1), false)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.conds().collect::<Vec<_>>(), vec![Cond::new(0), Cond::new(1)]);
+    }
+}

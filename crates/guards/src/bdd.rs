@@ -1,0 +1,661 @@
+//! A small reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! Guards in a speculative schedule are Boolean functions over condition
+//! instances. Most are conjunctions of a handful of literals, but the
+//! algorithm also produces disjunctions (e.g. the loop-continue expression
+//! `(c1_0 ∨ c2_0) ∧ c1_1` from Example 10 of the paper), so a general
+//! representation is required. The manager hash-conses nodes, memoizes the
+//! ternary if-then-else operator, and keeps every derived operation (AND,
+//! OR, NOT, cofactor) canonical: two [`Guard`]s are semantically equal if
+//! and only if they are `==`.
+
+use crate::{Assignment, Cond};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A guard: a Boolean function over [`Cond`] variables, represented as a
+/// node in a [`BddManager`].
+///
+/// `Guard` is a lightweight handle; all operations go through the manager
+/// that created it. Mixing handles across managers is a logic error (it
+/// produces wrong results, never memory unsafety) and is caught by debug
+/// assertions where cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Guard(u32);
+
+impl Guard {
+    /// The constant-false guard. An operation whose guard collapses to
+    /// false has been invalidated by a resolved condition and must be
+    /// discarded (Step 2 of Sec. 4.3: "every operation conditioned on 0 can
+    /// be removed").
+    pub const FALSE: Guard = Guard(0);
+
+    /// The constant-true guard: the operation is unconditional ("normal" in
+    /// the paper's terminology).
+    pub const TRUE: Guard = Guard(1);
+
+    /// Returns `true` if this is the constant-false guard.
+    pub const fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this is the constant-true guard.
+    pub const fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Returns `true` if this guard is a constant (true or false).
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard::TRUE
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Guard::FALSE => write!(f, "0"),
+            Guard::TRUE => write!(f, "1"),
+            g => write!(f, "guard#{}", g.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Guard,
+    hi: Guard,
+}
+
+/// ROBDD manager: owns the node store and operation caches for a family of
+/// [`Guard`]s.
+///
+/// Variable order is the numeric order of [`Cond`] indices: smaller indices
+/// are tested first. Both terminal guards exist in every manager.
+///
+/// # Example
+///
+/// ```
+/// use guards::{BddManager, Cond};
+/// let mut m = BddManager::new();
+/// let x = m.literal(Cond::new(0), true);
+/// let nx = m.not(x);
+/// assert!(m.or(x, nx).is_true());
+/// assert!(m.and(x, nx).is_false());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Guard>,
+    ite_cache: HashMap<(Guard, Guard, Guard), Guard>,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the terminal guards.
+    pub fn new() -> Self {
+        // Slots 0 and 1 are terminals; give them sentinel nodes that are
+        // never inspected (terminal checks short-circuit on the handle).
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: Guard::FALSE,
+            hi: Guard::FALSE,
+        };
+        BddManager {
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live (non-terminal) nodes, a proxy for memory usage.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    fn var_of(&self, g: Guard) -> u32 {
+        if g.is_const() {
+            u32::MAX
+        } else {
+            self.nodes[g.idx()].var
+        }
+    }
+
+    fn node(&self, g: Guard) -> Node {
+        debug_assert!(!g.is_const(), "terminals have no node");
+        self.nodes[g.idx()]
+    }
+
+    fn mk(&mut self, var: u32, lo: Guard, hi: Guard) -> Guard {
+        if lo == hi {
+            return lo;
+        }
+        let n = Node { var, lo, hi };
+        if let Some(&g) = self.unique.get(&n) {
+            return g;
+        }
+        let g = Guard(u32::try_from(self.nodes.len()).expect("BDD node index overflow"));
+        self.nodes.push(n);
+        self.unique.insert(n, g);
+        g
+    }
+
+    /// The guard that is true exactly when `cond` has the given `value`.
+    pub fn literal(&mut self, cond: Cond, value: bool) -> Guard {
+        if value {
+            self.mk(cond.index(), Guard::FALSE, Guard::TRUE)
+        } else {
+            self.mk(cond.index(), Guard::TRUE, Guard::FALSE)
+        }
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. All other operators are derived
+    /// from this.
+    pub fn ite(&mut self, f: Guard, g: Guard, h: Guard) -> Guard {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let top = self
+            .var_of(f)
+            .min(self.var_of(g))
+            .min(self.var_of(h));
+        let (f_lo, f_hi) = self.cofactors_at(f, top);
+        let (g_lo, g_hi) = self.cofactors_at(g, top);
+        let (h_lo, h_hi) = self.cofactors_at(h, top);
+        let lo = self.ite(f_lo, g_lo, h_lo);
+        let hi = self.ite(f_hi, g_hi, h_hi);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    fn cofactors_at(&self, g: Guard, var: u32) -> (Guard, Guard) {
+        if g.is_const() || self.var_of(g) != var {
+            (g, g)
+        } else {
+            let n = self.node(g);
+            (n.lo, n.hi)
+        }
+    }
+
+    /// Conjunction of two guards (Lemma 1: an operation whose fanins are
+    /// conditioned on `C_1 … C_n` is conditioned on their conjunction).
+    pub fn and(&mut self, a: Guard, b: Guard) -> Guard {
+        self.ite(a, b, Guard::FALSE)
+    }
+
+    /// Disjunction of two guards.
+    pub fn or(&mut self, a: Guard, b: Guard) -> Guard {
+        self.ite(a, Guard::TRUE, b)
+    }
+
+    /// Negation of a guard.
+    pub fn not(&mut self, a: Guard) -> Guard {
+        self.ite(a, Guard::FALSE, Guard::TRUE)
+    }
+
+    /// Exclusive or, used by tests to state algebraic laws compactly.
+    pub fn xor(&mut self, a: Guard, b: Guard) -> Guard {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+
+    /// Conjunction over an iterator of guards.
+    pub fn and_all<I: IntoIterator<Item = Guard>>(&mut self, guards: I) -> Guard {
+        let mut acc = Guard::TRUE;
+        for g in guards {
+            acc = self.and(acc, g);
+            if acc.is_false() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator of guards.
+    pub fn or_all<I: IntoIterator<Item = Guard>>(&mut self, guards: I) -> Guard {
+        let mut acc = Guard::FALSE;
+        for g in guards {
+            acc = self.or(acc, g);
+            if acc.is_true() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restricts `g` by the resolution `cond = value`.
+    ///
+    /// This is Step 2 of Sec. 4.3 of the paper: when a conditional operation
+    /// resolves, every guard in the schedulable/scheduled sets is evaluated
+    /// with the resolved value substituted. A result of [`Guard::FALSE`]
+    /// means the speculation was invalidated; [`Guard::TRUE`] means the
+    /// operation is now validated ("normal").
+    pub fn cofactor(&mut self, g: Guard, cond: Cond, value: bool) -> Guard {
+        if g.is_const() {
+            return g;
+        }
+        let var = cond.index();
+        let n = self.node(g);
+        if n.var > var {
+            // Variable order guarantees `var` does not appear below.
+            return g;
+        }
+        if n.var == var {
+            let branch = if value { n.hi } else { n.lo };
+            return branch;
+        }
+        let lo = self.cofactor(n.lo, cond, value);
+        let hi = self.cofactor(n.hi, cond, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Restricts `g` by every pair in `assignment`.
+    pub fn restrict(&mut self, g: Guard, assignment: &Assignment) -> Guard {
+        let mut acc = g;
+        for (cond, value) in assignment.iter() {
+            acc = self.cofactor(acc, cond, value);
+            if acc.is_const() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Decomposes a non-terminal guard into `(top condition, cofactor at
+    /// false, cofactor at true)` without mutating the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is a constant.
+    pub fn branches(&self, g: Guard) -> (Cond, Guard, Guard) {
+        assert!(!g.is_const(), "terminal guards have no branches");
+        let n = self.node(g);
+        (Cond::new(n.var), n.lo, n.hi)
+    }
+
+    /// The set of conditions the guard depends on, in variable order.
+    pub fn support(&self, g: Guard) -> Vec<Cond> {
+        let mut vars = Vec::new();
+        let mut stack = vec![g];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(x) = stack.pop() {
+            if x.is_const() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.node(x);
+            vars.push(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars.into_iter().map(Cond::new).collect()
+    }
+
+    /// Evaluates the guard under a total assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover the guard's support.
+    pub fn eval(&self, g: Guard, assignment: &Assignment) -> bool {
+        let mut cur = g;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            let v = assignment
+                .get(Cond::new(n.var))
+                .expect("assignment must cover the guard's support");
+            cur = if v { n.hi } else { n.lo };
+        }
+        cur.is_true()
+    }
+
+    /// Returns `true` if `a` logically implies `b`.
+    pub fn implies(&mut self, a: Guard, b: Guard) -> bool {
+        let nb = self.not(b);
+        self.and(a, nb).is_false()
+    }
+
+    /// Enumerates all satisfying total assignments of `g` over exactly the
+    /// conditions in `over` (which must be a superset of the support).
+    ///
+    /// This implements the partitioning in step 4 of the algorithm's flow
+    /// diagram (Fig. 12): given the set of conditions resolved in a state,
+    /// each satisfying combination spawns one successor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over` does not cover the support of `g`.
+    pub fn assignments(&mut self, g: Guard, over: &[Cond]) -> Vec<Assignment> {
+        for c in self.support(g) {
+            assert!(
+                over.contains(&c),
+                "enumeration set must cover the guard's support (missing {c})"
+            );
+        }
+        let mut out = Vec::new();
+        let mut partial = Assignment::new();
+        self.enumerate(g, over, 0, &mut partial, &mut out);
+        out
+    }
+
+    fn enumerate(
+        &mut self,
+        g: Guard,
+        over: &[Cond],
+        i: usize,
+        partial: &mut Assignment,
+        out: &mut Vec<Assignment>,
+    ) {
+        if g.is_false() {
+            return;
+        }
+        if i == over.len() {
+            out.push(partial.clone());
+            return;
+        }
+        let c = over[i];
+        for value in [false, true] {
+            let sub = self.cofactor(g, c, value);
+            partial.set(c, value);
+            self.enumerate(sub, over, i + 1, partial, out);
+            partial.unset(c);
+        }
+    }
+
+    /// Renders `g` as a sum of product terms using a naming function for
+    /// conditions, e.g. `c1_0.!c2_0 + !c1_0`.
+    pub fn to_sop_string(&mut self, g: Guard, name: &dyn Fn(Cond) -> String) -> String {
+        if g.is_false() {
+            return "0".to_string();
+        }
+        if g.is_true() {
+            return "1".to_string();
+        }
+        let mut cubes = Vec::new();
+        let mut lits: Vec<(Cond, bool)> = Vec::new();
+        self.collect_cubes(g, &mut lits, &mut cubes);
+        cubes
+            .iter()
+            .map(|cube| {
+                cube.iter()
+                    .map(|&(c, v)| {
+                        let n = name(c);
+                        if v {
+                            n
+                        } else {
+                            format!("!{n}")
+                        }
+                    })
+                    .collect::<Vec<_>>()
+                    .join(".")
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    fn collect_cubes(
+        &self,
+        g: Guard,
+        lits: &mut Vec<(Cond, bool)>,
+        out: &mut Vec<Vec<(Cond, bool)>>,
+    ) {
+        if g.is_false() {
+            return;
+        }
+        if g.is_true() {
+            out.push(lits.clone());
+            return;
+        }
+        let n = self.node(g);
+        lits.push((Cond::new(n.var), false));
+        self.collect_cubes(n.lo, lits, out);
+        lits.pop();
+        lits.push((Cond::new(n.var), true));
+        self.collect_cubes(n.hi, lits, out);
+        lits.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr3() -> (BddManager, Guard, Guard, Guard) {
+        let mut m = BddManager::new();
+        let a = m.literal(Cond::new(0), true);
+        let b = m.literal(Cond::new(1), true);
+        let c = m.literal(Cond::new(2), true);
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn terminals() {
+        assert!(Guard::TRUE.is_true());
+        assert!(Guard::FALSE.is_false());
+        assert!(Guard::TRUE.is_const() && Guard::FALSE.is_const());
+        assert_eq!(Guard::default(), Guard::TRUE);
+    }
+
+    #[test]
+    fn literal_is_canonical() {
+        let mut m = BddManager::new();
+        let a1 = m.literal(Cond::new(5), true);
+        let a2 = m.literal(Cond::new(5), true);
+        assert_eq!(a1, a2);
+        let na = m.literal(Cond::new(5), false);
+        assert_ne!(a1, na);
+        assert_eq!(m.not(a1), na);
+    }
+
+    #[test]
+    fn and_or_not_basics() {
+        let (mut m, a, b, _) = mgr3();
+        assert_eq!(m.and(a, Guard::TRUE), a);
+        assert_eq!(m.and(a, Guard::FALSE), Guard::FALSE);
+        assert_eq!(m.or(a, Guard::FALSE), a);
+        assert_eq!(m.or(a, Guard::TRUE), Guard::TRUE);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "AND is commutative and canonical");
+        let na = m.not(a);
+        assert!(m.and(a, na).is_false());
+        assert!(m.or(a, na).is_true());
+        assert_eq!(m.not(na), a, "double negation");
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = mgr3();
+        let lhs = {
+            let ab = m.and(a, b);
+            m.not(ab)
+        };
+        let rhs = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.or(na, nb)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn distributivity() {
+        let (mut m, a, b, c) = mgr3();
+        let bc = m.or(b, c);
+        let lhs = m.and(a, bc);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let rhs = m.or(ab, ac);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn cofactor_resolves_conditions() {
+        let (mut m, a, b, _) = mgr3();
+        let g = m.and(a, b); // c0 ∧ c1
+        let t = m.cofactor(g, Cond::new(0), true);
+        assert_eq!(t, b, "c0=1 leaves c1");
+        let f = m.cofactor(g, Cond::new(0), false);
+        assert!(f.is_false(), "c0=0 invalidates the speculation");
+        // cofactor on a variable not in the support is identity
+        assert_eq!(m.cofactor(g, Cond::new(9), true), g);
+    }
+
+    #[test]
+    fn cofactor_example10_expression() {
+        // (c1_0 ∨ c2_0) ∧ c1_1 from Example 10 of the paper.
+        let mut m = BddManager::new();
+        let c1_0 = m.literal(Cond::new(0), true);
+        let c2_0 = m.literal(Cond::new(1), true);
+        let c1_1 = m.literal(Cond::new(2), true);
+        let disj = m.or(c1_0, c2_0);
+        let g = m.and(disj, c1_1);
+        // Resolving c1_0 = true reduces the guard to c1_1 alone.
+        assert_eq!(m.cofactor(g, Cond::new(0), true), c1_1);
+        // Resolving c1_0 = false leaves c2_0 ∧ c1_1.
+        let rest = m.cofactor(g, Cond::new(0), false);
+        assert_eq!(rest, m.and(c2_0, c1_1));
+    }
+
+    #[test]
+    fn support_and_eval() {
+        let (mut m, a, _b, c) = mgr3();
+        let nc = m.not(c);
+        let g = m.and(a, nc);
+        assert_eq!(m.support(g), vec![Cond::new(0), Cond::new(2)]);
+        let mut asg = Assignment::new();
+        asg.set(Cond::new(0), true);
+        asg.set(Cond::new(2), false);
+        assert!(m.eval(g, &asg));
+        asg.set(Cond::new(2), true);
+        assert!(!m.eval(g, &asg));
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover")]
+    fn eval_requires_full_support() {
+        let (m2, a, b, _) = {
+            let (mut m, a, b, c) = mgr3();
+            let _ = c;
+            let g = m.and(a, b);
+            (m, g, g, ())
+        };
+        let _ = b;
+        let asg = Assignment::new();
+        m2.eval(a, &asg);
+    }
+
+    #[test]
+    fn implies() {
+        let (mut m, a, b, _) = mgr3();
+        let ab = m.and(a, b);
+        assert!(m.implies(ab, a));
+        assert!(m.implies(ab, b));
+        assert!(!m.implies(a, ab));
+        assert!(m.implies(Guard::FALSE, a));
+        assert!(m.implies(a, Guard::TRUE));
+    }
+
+    #[test]
+    fn assignments_enumerates_minterms() {
+        let (mut m, a, b, _) = mgr3();
+        let g = m.or(a, b);
+        let over = [Cond::new(0), Cond::new(1)];
+        let sats = m.assignments(g, &over);
+        assert_eq!(sats.len(), 3, "three of four minterms satisfy a ∨ b");
+        for asg in &sats {
+            assert!(m.eval(g, asg));
+        }
+        // Enumerating TRUE over two conditions yields all four minterms.
+        let all = m.assignments(Guard::TRUE, &over);
+        assert_eq!(all.len(), 4);
+        // FALSE has none.
+        assert!(m.assignments(Guard::FALSE, &over).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the guard's support")]
+    fn assignments_requires_cover() {
+        let (mut m, a, b, _) = mgr3();
+        let g = m.and(a, b);
+        let _ = m.assignments(g, &[Cond::new(0)]);
+    }
+
+    #[test]
+    fn sop_rendering() {
+        let (mut m, a, b, _) = mgr3();
+        let nb = m.not(b);
+        let g = m.and(a, nb);
+        let s = m.to_sop_string(g, &|c| format!("c{}", c.index()));
+        assert_eq!(s, "c0.!c1");
+        assert_eq!(m.to_sop_string(Guard::TRUE, &|c| c.to_string()), "1");
+        assert_eq!(m.to_sop_string(Guard::FALSE, &|c| c.to_string()), "0");
+    }
+
+    #[test]
+    fn node_count_reflects_sharing() {
+        let (mut m, a, b, c) = mgr3();
+        let before = m.node_count();
+        let ab = m.and(a, b);
+        let ab2 = m.and(a, b);
+        assert_eq!(ab, ab2);
+        let _abc = m.and(ab, c);
+        assert!(m.node_count() > before);
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let (mut m, a, b, c) = mgr3();
+        let all = m.and_all([a, b, c]);
+        let ab = m.and(a, b);
+        assert_eq!(all, m.and(ab, c));
+        assert_eq!(m.and_all(std::iter::empty()), Guard::TRUE);
+        assert_eq!(m.or_all(std::iter::empty()), Guard::FALSE);
+        let any = m.or_all([a, b, c]);
+        let ab = m.or(a, b);
+        assert_eq!(any, m.or(ab, c));
+    }
+
+    #[test]
+    fn restrict_applies_assignment() {
+        let (mut m, a, b, c) = mgr3();
+        let ab = m.and(a, b);
+        let g = m.and(ab, c);
+        let mut asg = Assignment::new();
+        asg.set(Cond::new(0), true);
+        asg.set(Cond::new(1), true);
+        assert_eq!(m.restrict(g, &asg), c);
+        asg.set(Cond::new(2), false);
+        assert!(m.restrict(g, &asg).is_false());
+    }
+}

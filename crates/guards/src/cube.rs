@@ -1,0 +1,251 @@
+//! Cubes: conjunctions of condition literals.
+//!
+//! Most speculation conditions produced during scheduling are plain
+//! conjunctions — the paper writes them as `c_1 ∧ c_2` — so a dedicated,
+//! cheaply inspectable representation is useful for display, tests, and the
+//! common fast path, with lossless conversion into the general BDD form.
+
+use crate::{Assignment, BddManager, Cond, Guard};
+use std::fmt;
+
+/// A single condition literal: a condition and the polarity it is assumed
+/// to take.
+///
+/// # Example
+///
+/// ```
+/// use guards::{Cond, Literal};
+/// let l = Literal::positive(Cond::new(1));
+/// assert_eq!(l.to_string(), "c1");
+/// assert_eq!((!l).to_string(), "!c1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The condition instance.
+    pub cond: Cond,
+    /// `true` for the positive literal `c`, `false` for `¬c`.
+    pub value: bool,
+}
+
+impl Literal {
+    /// The positive literal `cond`.
+    pub const fn positive(cond: Cond) -> Self {
+        Literal { cond, value: true }
+    }
+
+    /// The negative literal `¬cond`.
+    pub const fn negative(cond: Cond) -> Self {
+        Literal { cond, value: false }
+    }
+
+    /// Converts to a [`Guard`].
+    pub fn guard(self, m: &mut BddManager) -> Guard {
+        m.literal(self.cond, self.value)
+    }
+}
+
+impl std::ops::Not for Literal {
+    type Output = Literal;
+
+    fn not(self) -> Literal {
+        Literal {
+            cond: self.cond,
+            value: !self.value,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value {
+            write!(f, "{}", self.cond)
+        } else {
+            write!(f, "!{}", self.cond)
+        }
+    }
+}
+
+/// A conjunction of literals over distinct conditions, kept sorted by
+/// condition.
+///
+/// The empty cube is the constant true. A contradictory pair of literals
+/// cannot be constructed: [`Cube::with`] returns `None` instead.
+///
+/// # Example
+///
+/// ```
+/// use guards::{Cond, Cube, Literal};
+/// let c = Cube::top()
+///     .with(Literal::positive(Cond::new(0)))
+///     .unwrap()
+///     .with(Literal::negative(Cond::new(2)))
+///     .unwrap();
+/// assert_eq!(c.to_string(), "c0.!c2");
+/// // Adding the opposite polarity of an existing literal is contradictory.
+/// assert!(c.with(Literal::negative(Cond::new(0))).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cube {
+    lits: Vec<Literal>,
+}
+
+impl Cube {
+    /// The empty cube (constant true).
+    pub fn top() -> Self {
+        Cube::default()
+    }
+
+    /// Builds a cube from literals.
+    ///
+    /// Returns `None` if two literals over the same condition have opposite
+    /// polarity (the conjunction would be constant false).
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(lits: I) -> Option<Self> {
+        let mut cube = Cube::top();
+        for l in lits {
+            cube = cube.with(l)?;
+        }
+        Some(cube)
+    }
+
+    /// Returns this cube extended with `lit`, or `None` if the result would
+    /// be contradictory. Duplicate literals are absorbed.
+    pub fn with(&self, lit: Literal) -> Option<Self> {
+        match self.lits.binary_search_by_key(&lit.cond, |l| l.cond) {
+            Ok(i) => {
+                if self.lits[i].value == lit.value {
+                    Some(self.clone())
+                } else {
+                    None
+                }
+            }
+            Err(i) => {
+                let mut lits = self.lits.clone();
+                lits.insert(i, lit);
+                Some(Cube { lits })
+            }
+        }
+    }
+
+    /// `true` if the cube has no literals (constant true).
+    pub fn is_top(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the cube has no literals.
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The literals, sorted by condition.
+    pub fn literals(&self) -> &[Literal] {
+        &self.lits
+    }
+
+    /// Converts the cube into a [`Guard`].
+    pub fn guard(&self, m: &mut BddManager) -> Guard {
+        let lits: Vec<Guard> = self.lits.iter().map(|l| l.guard(m)).collect();
+        m.and_all(lits)
+    }
+
+    /// Converts the cube into an [`Assignment`] (each literal pins its
+    /// condition).
+    pub fn to_assignment(&self) -> Assignment {
+        self.lits.iter().map(|l| (l.cond, l.value)).collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for l in &self.lits {
+            if !first {
+                write!(f, ".")?;
+            }
+            first = false;
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_negation() {
+        let l = Literal::positive(Cond::new(0));
+        assert_eq!(!l, Literal::negative(Cond::new(0)));
+        assert_eq!(!!l, l);
+    }
+
+    #[test]
+    fn cube_absorbs_duplicates() {
+        let l = Literal::positive(Cond::new(1));
+        let c = Cube::top().with(l).unwrap().with(l).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cube_rejects_contradiction() {
+        let c = Cube::from_literals([Literal::positive(Cond::new(0))]).unwrap();
+        assert!(c.with(Literal::negative(Cond::new(0))).is_none());
+        assert!(Cube::from_literals([
+            Literal::positive(Cond::new(0)),
+            Literal::negative(Cond::new(0)),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn cube_sorted_by_cond() {
+        let c = Cube::from_literals([
+            Literal::negative(Cond::new(5)),
+            Literal::positive(Cond::new(1)),
+        ])
+        .unwrap();
+        assert_eq!(c.to_string(), "c1.!c5");
+    }
+
+    #[test]
+    fn cube_guard_matches_manual_conjunction() {
+        let mut m = BddManager::new();
+        let c = Cube::from_literals([
+            Literal::positive(Cond::new(0)),
+            Literal::negative(Cond::new(1)),
+        ])
+        .unwrap();
+        let g = c.guard(&mut m);
+        let a = m.literal(Cond::new(0), true);
+        let nb = m.literal(Cond::new(1), false);
+        assert_eq!(g, m.and(a, nb));
+        assert_eq!(Cube::top().guard(&mut m), Guard::TRUE);
+    }
+
+    #[test]
+    fn cube_to_assignment() {
+        let c = Cube::from_literals([
+            Literal::positive(Cond::new(2)),
+            Literal::negative(Cond::new(0)),
+        ])
+        .unwrap();
+        let a = c.to_assignment();
+        assert_eq!(a.get(Cond::new(2)), Some(true));
+        assert_eq!(a.get(Cond::new(0)), Some(false));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn top_displays_as_one() {
+        assert_eq!(Cube::top().to_string(), "1");
+        assert!(Cube::top().is_top());
+    }
+}

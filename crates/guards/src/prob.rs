@@ -1,0 +1,194 @@
+//! Exact probability evaluation of guards under independent condition
+//! probabilities.
+//!
+//! Equation (5) of the paper weighs an operation's criticality by
+//! `∏ P(c_j)`, the probability that its speculation condition holds,
+//! assuming independent branch outcomes. For cube guards this is a plain
+//! product; for general guards the probability is computed exactly by
+//! Shannon expansion over the BDD:
+//! `P(g) = P(c)·P(g|c=1) + (1−P(c))·P(g|c=0)`.
+
+use crate::{BddManager, Cond, Guard};
+use std::collections::HashMap;
+
+/// Per-condition probabilities of evaluating to true.
+///
+/// Conditions not explicitly set fall back to a configurable default
+/// (0.5 unless changed), mirroring a profiler that has no data for a
+/// branch it never saw.
+///
+/// # Example
+///
+/// ```
+/// use guards::{BddManager, Cond, CondProbs};
+/// let mut m = BddManager::new();
+/// let mut p = CondProbs::new();
+/// p.set(Cond::new(0), 0.8);
+/// let a = m.literal(Cond::new(0), true);
+/// let b = m.literal(Cond::new(1), true); // default 0.5
+/// let g = m.and(a, b);
+/// assert!((p.probability(&m, g) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CondProbs {
+    map: HashMap<Cond, f64>,
+    default: f64,
+}
+
+impl Default for CondProbs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CondProbs {
+    /// Creates an empty table with default probability 0.5.
+    pub fn new() -> Self {
+        CondProbs {
+            map: HashMap::new(),
+            default: 0.5,
+        }
+    }
+
+    /// Creates an empty table with the given default probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is not in `[0, 1]`.
+    pub fn with_default(default: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&default),
+            "probability must be in [0, 1], got {default}"
+        );
+        CondProbs {
+            map: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Sets `P(cond = true)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set(&mut self, cond: Cond, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
+        self.map.insert(cond, p);
+    }
+
+    /// Looks up `P(cond = true)`, falling back to the default.
+    pub fn get(&self, cond: Cond) -> f64 {
+        self.map.get(&cond).copied().unwrap_or(self.default)
+    }
+
+    /// The default probability used for unknown conditions.
+    pub fn default_probability(&self) -> f64 {
+        self.default
+    }
+
+    /// Exact probability that `g` evaluates to true, assuming independent
+    /// conditions, computed by Shannon expansion over the BDD.
+    pub fn probability(&self, m: &BddManager, g: Guard) -> f64 {
+        let mut memo: HashMap<Guard, f64> = HashMap::new();
+        self.prob_rec(m, g, &mut memo)
+    }
+
+    fn prob_rec(&self, m: &BddManager, g: Guard, memo: &mut HashMap<Guard, f64>) -> f64 {
+        if g.is_false() {
+            return 0.0;
+        }
+        if g.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&g) {
+            return p;
+        }
+        let (top, lo, hi) = m.branches(g);
+        let pc = self.get(top);
+        let p = pc * self.prob_rec(m, hi, memo) + (1.0 - pc) * self.prob_rec(m, lo, memo);
+        memo.insert(g, p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let m = BddManager::new();
+        let p = CondProbs::new();
+        assert_eq!(p.probability(&m, Guard::TRUE), 1.0);
+        assert_eq!(p.probability(&m, Guard::FALSE), 0.0);
+    }
+
+    #[test]
+    fn literal_probability() {
+        let mut m = BddManager::new();
+        let mut p = CondProbs::new();
+        p.set(Cond::new(0), 0.3);
+        let a = m.literal(Cond::new(0), true);
+        let na = m.literal(Cond::new(0), false);
+        assert!((p.probability(&m, a) - 0.3).abs() < 1e-12);
+        assert!((p.probability(&m, na) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let mut m = BddManager::new();
+        let mut p = CondProbs::new();
+        p.set(Cond::new(0), 0.6);
+        p.set(Cond::new(1), 0.25);
+        let a = m.literal(Cond::new(0), true);
+        let b = m.literal(Cond::new(1), true);
+        let g = m.and(a, b);
+        assert!((p.probability(&m, g) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_inclusion_exclusion() {
+        let mut m = BddManager::new();
+        let mut p = CondProbs::new();
+        p.set(Cond::new(0), 0.6);
+        p.set(Cond::new(1), 0.25);
+        let a = m.literal(Cond::new(0), true);
+        let b = m.literal(Cond::new(1), true);
+        let g = m.or(a, b);
+        let expect = 0.6 + 0.25 - 0.6 * 0.25;
+        assert!((p.probability(&m, g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_sums_to_one() {
+        let mut m = BddManager::new();
+        let mut p = CondProbs::new();
+        p.set(Cond::new(0), 0.8);
+        p.set(Cond::new(1), 0.4);
+        let a = m.literal(Cond::new(0), true);
+        let b = m.literal(Cond::new(1), false);
+        let g = m.xor(a, b);
+        let ng = m.not(g);
+        let total = p.probability(&m, g) + p.probability(&m, ng);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_probability_used_for_unseen() {
+        let mut m = BddManager::new();
+        let p = CondProbs::with_default(0.9);
+        let a = m.literal(Cond::new(42), true);
+        assert!((p.probability(&m, a) - 0.9).abs() < 1e-12);
+        assert_eq!(p.default_probability(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn rejects_out_of_range() {
+        let mut p = CondProbs::new();
+        p.set(Cond::new(0), 1.5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests for the guard algebra: Boolean laws, Shannon
+//! expansion, cofactor semantics, and probability axioms on randomly
+//! generated expressions.
+
+use guards::{Assignment, BddManager, Cond, CondProbs, Cube, Guard, Literal};
+use proptest::prelude::*;
+
+const NVARS: u32 = 5;
+
+/// A random Boolean expression tree over `NVARS` conditions.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(bool),
+    Lit(u32, bool),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn build(&self, m: &mut BddManager) -> Guard {
+        match self {
+            Expr::Const(true) => Guard::TRUE,
+            Expr::Const(false) => Guard::FALSE,
+            Expr::Lit(v, pol) => m.literal(Cond::new(*v), *pol),
+            Expr::Not(e) => {
+                let g = e.build(m);
+                m.not(g)
+            }
+            Expr::And(a, b) => {
+                let ga = a.build(m);
+                let gb = b.build(m);
+                m.and(ga, gb)
+            }
+            Expr::Or(a, b) => {
+                let ga = a.build(m);
+                let gb = b.build(m);
+                m.or(ga, gb)
+            }
+        }
+    }
+
+    fn eval(&self, asg: &[bool]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit(v, pol) => asg[*v as usize] == *pol,
+            Expr::Not(e) => !e.eval(asg),
+            Expr::And(a, b) => a.eval(asg) && b.eval(asg),
+            Expr::Or(a, b) => a.eval(asg) || b.eval(asg),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..NVARS, any::<bool>()).prop_map(|(v, p)| Expr::Lit(v, p)),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn all_assignments() -> Vec<Vec<bool>> {
+    (0..(1u32 << NVARS))
+        .map(|bits| (0..NVARS).map(|v| bits & (1 << v) != 0).collect())
+        .collect()
+}
+
+fn to_assignment(bits: &[bool]) -> Assignment {
+    bits.iter()
+        .enumerate()
+        .map(|(i, &b)| (Cond::new(i as u32), b))
+        .collect()
+}
+
+proptest! {
+    /// The BDD build agrees with direct evaluation on every assignment —
+    /// the fundamental soundness property.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let g = e.build(&mut m);
+        for asg in all_assignments() {
+            let expect = e.eval(&asg);
+            // Pad the assignment over all vars so eval never under-covers.
+            prop_assert_eq!(m.eval(g, &to_assignment(&asg)), expect);
+        }
+    }
+
+    /// Canonicity: semantically equal expressions produce identical handles.
+    #[test]
+    fn bdd_canonical(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let g = e.build(&mut m);
+        // Double negation is syntactically different, semantically equal.
+        let n = m.not(g);
+        let nn = m.not(n);
+        prop_assert_eq!(g, nn);
+        // g ∨ g == g ∧ g == g (idempotence).
+        prop_assert_eq!(m.or(g, g), g);
+        prop_assert_eq!(m.and(g, g), g);
+    }
+
+    /// Shannon expansion: g == (c ∧ g|c=1) ∨ (¬c ∧ g|c=0) for every var.
+    #[test]
+    fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+        let mut m = BddManager::new();
+        let g = e.build(&mut m);
+        let c = Cond::new(v);
+        let hi = m.cofactor(g, c, true);
+        let lo = m.cofactor(g, c, false);
+        let lit = m.literal(c, true);
+        let nlit = m.literal(c, false);
+        let a = m.and(lit, hi);
+        let b = m.and(nlit, lo);
+        let rebuilt = m.or(a, b);
+        prop_assert_eq!(rebuilt, g);
+        // Cofactors never mention the resolved condition.
+        prop_assert!(!m.support(hi).contains(&c));
+        prop_assert!(!m.support(lo).contains(&c));
+    }
+
+    /// De Morgan / distributivity on random pairs.
+    #[test]
+    fn boolean_laws(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        let mut m = BddManager::new();
+        let (ga, gb, gc) = (a.build(&mut m), b.build(&mut m), c.build(&mut m));
+        let and_ab = m.and(ga, gb);
+        let lhs = m.not(and_ab);
+        let na = m.not(ga);
+        let nb = m.not(gb);
+        let rhs = m.or(na, nb);
+        prop_assert_eq!(lhs, rhs, "De Morgan");
+        let or_bc = m.or(gb, gc);
+        let lhs = m.and(ga, or_bc);
+        let ab = m.and(ga, gb);
+        let ac = m.and(ga, gc);
+        let rhs = m.or(ab, ac);
+        prop_assert_eq!(lhs, rhs, "distributivity");
+    }
+
+    /// Minterm enumeration returns exactly the satisfying assignments.
+    #[test]
+    fn assignments_complete_and_sound(e in arb_expr()) {
+        let mut m = BddManager::new();
+        let g = e.build(&mut m);
+        let over: Vec<Cond> = (0..NVARS).map(Cond::new).collect();
+        let sats = m.assignments(g, &over);
+        let expect = all_assignments()
+            .iter()
+            .filter(|asg| e.eval(asg))
+            .count();
+        prop_assert_eq!(sats.len(), expect);
+        for asg in &sats {
+            prop_assert!(m.eval(g, asg));
+        }
+    }
+
+    /// Probability axioms: P ∈ [0,1], P(g) + P(¬g) = 1, and P equals the
+    /// weighted truth-table sum.
+    #[test]
+    fn probability_axioms(e in arb_expr(), ps in proptest::collection::vec(0.0f64..=1.0, NVARS as usize)) {
+        let mut m = BddManager::new();
+        let g = e.build(&mut m);
+        let mut probs = CondProbs::new();
+        for (i, &p) in ps.iter().enumerate() {
+            probs.set(Cond::new(i as u32), p);
+        }
+        let pg = probs.probability(&m, g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&pg));
+        let ng = m.not(g);
+        let png = probs.probability(&m, ng);
+        prop_assert!((pg + png - 1.0).abs() < 1e-9);
+        // Weighted truth-table sum.
+        let mut sum = 0.0;
+        for asg in all_assignments() {
+            if e.eval(&asg) {
+                let mut w = 1.0;
+                for (i, &b) in asg.iter().enumerate() {
+                    w *= if b { ps[i] } else { 1.0 - ps[i] };
+                }
+                sum += w;
+            }
+        }
+        prop_assert!((pg - sum).abs() < 1e-9, "pg={pg} sum={sum}");
+    }
+
+    /// Cubes agree with the BDD they convert to.
+    #[test]
+    fn cube_guard_agrees(lits in proptest::collection::vec((0..NVARS, any::<bool>()), 0..6)) {
+        let literals: Vec<Literal> = lits
+            .iter()
+            .map(|&(v, p)| Literal { cond: Cond::new(v), value: p })
+            .collect();
+        let mut m = BddManager::new();
+        match Cube::from_literals(literals.clone()) {
+            Some(cube) => {
+                let g = cube.guard(&mut m);
+                let parts: Vec<Guard> = literals.iter().map(|l| l.guard(&mut m)).collect();
+                let direct = m.and_all(parts);
+                prop_assert_eq!(g, direct);
+            }
+            None => {
+                // Contradictory literal sets collapse to FALSE directly.
+                let parts: Vec<Guard> = literals.iter().map(|l| l.guard(&mut m)).collect();
+                let direct = m.and_all(parts);
+                prop_assert!(direct.is_false());
+            }
+        }
+    }
+}

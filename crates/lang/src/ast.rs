@@ -1,0 +1,256 @@
+//! Abstract syntax of behavioral descriptions, with a pretty-printer whose
+//! output reparses to the same AST.
+
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical not: 1 if the operand is 0, else 0.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators, named after their CDFG operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical or (`||`).
+    Or,
+    /// Logical and (`&&`).
+    And,
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Less-than (`<`).
+    Lt,
+    /// Less-or-equal (`<=`).
+    Le,
+    /// Greater-than (`>`).
+    Gt,
+    /// Greater-or-equal (`>=`).
+    Ge,
+    /// Left shift (`<<`).
+    Shl,
+    /// Arithmetic right shift (`>>`).
+    Shr,
+    /// Bitwise xor (`^`).
+    Xor,
+    /// Addition (`+`).
+    Add,
+    /// Subtraction (`-`).
+    Sub,
+    /// Multiplication (`*`).
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Xor => "^",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable (or input) reference.
+    Ident(String),
+    /// Memory load `MEM[addr]`.
+    Load(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary(op, ..) => match op {
+                BinOp::Or => 1,
+                BinOp::And => 2,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+                BinOp::Shl | BinOp::Shr => 4,
+                BinOp::Xor => 5,
+                BinOp::Add | BinOp::Sub => 6,
+                BinOp::Mul => 7,
+            },
+            _ => 10,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Ident(n) => write!(f, "{n}"),
+            Expr::Load(m, a) => write!(f, "{m}[{a}]"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "!({e})"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(op, l, r) => {
+                let p = self.precedence();
+                let wrap = |f: &mut fmt::Formatter<'_>, e: &Expr, strict: bool| {
+                    if e.precedence() < p || (strict && e.precedence() == p) {
+                        write!(f, "({e})")
+                    } else {
+                        write!(f, "{e}")
+                    }
+                };
+                wrap(f, l, false)?;
+                write!(f, " {op} ")?;
+                // Right operand parenthesized on equal precedence: the
+                // grammar is left-associative.
+                wrap(f, r, true)
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var NAME = expr;` — declares and initializes a local.
+    Var(String, Expr),
+    /// `NAME = expr;` — assignment to a local or output.
+    Assign(String, Expr),
+    /// `MEM[addr] = expr;` — memory store.
+    Store(String, Expr, Expr),
+    /// `if (cond) { then } else { els }` (else may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Expr, Vec<Stmt>),
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "    ".repeat(indent);
+        match self {
+            Stmt::Var(n, e) => writeln!(f, "{pad}var {n} = {e};"),
+            Stmt::Assign(n, e) => writeln!(f, "{pad}{n} = {e};"),
+            Stmt::Store(m, a, v) => writeln!(f, "{pad}{m}[{a}] = {v};"),
+            Stmt::If(c, t, e) => {
+                writeln!(f, "{pad}if ({c}) {{")?;
+                for s in t {
+                    s.fmt_indented(f, indent + 1)?;
+                }
+                if e.is_empty() {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    for s in e {
+                        s.fmt_indented(f, indent + 1)?;
+                    }
+                    writeln!(f, "{pad}}}")
+                }
+            }
+            Stmt::While(c, b) => {
+                writeln!(f, "{pad}while ({c}) {{")?;
+                for s in b {
+                    s.fmt_indented(f, indent + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+/// A full behavioral description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Design name.
+    pub name: String,
+    /// Primary input names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Primary output names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Memories: `(name, size)`.
+    pub mems: Vec<(String, usize)>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design {} {{", self.name)?;
+        if !self.inputs.is_empty() {
+            writeln!(f, "    input {};", self.inputs.join(", "))?;
+        }
+        if !self.outputs.is_empty() {
+            writeln!(f, "    output {};", self.outputs.join(", "))?;
+        }
+        for (m, size) in &self.mems {
+            writeln!(f, "    mem {m}[{size}];")?;
+        }
+        for s in &self.body {
+            s.fmt_indented(f, 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_precedence() {
+        // (a + b) * c must print with parentheses.
+        let e = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Ident("a".into())),
+                Box::new(Expr::Ident("b".into())),
+            )),
+            Box::new(Expr::Ident("c".into())),
+        );
+        assert_eq!(e.to_string(), "(a + b) * c");
+        // a - (b - c) must keep the right-side parens.
+        let e = Expr::Binary(
+            BinOp::Sub,
+            Box::new(Expr::Ident("a".into())),
+            Box::new(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Ident("b".into())),
+                Box::new(Expr::Ident("c".into())),
+            )),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn program_display_contains_structure() {
+        let p = Program {
+            name: "t".into(),
+            inputs: vec!["a".into()],
+            outputs: vec!["o".into()],
+            mems: vec![("M".into(), 8)],
+            body: vec![Stmt::Assign("o".into(), Expr::Ident("a".into()))],
+        };
+        let s = p.to_string();
+        assert!(s.contains("design t {"));
+        assert!(s.contains("input a;"));
+        assert!(s.contains("mem M[8];"));
+        assert!(s.contains("o = a;"));
+    }
+}

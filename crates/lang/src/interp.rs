@@ -1,0 +1,443 @@
+//! Reference interpreter for behavioral descriptions — the functional
+//! golden model.
+//!
+//! Every schedule produced by the schedulers is ultimately validated by
+//! comparing STG simulation results against this interpreter (see the
+//! `hls-sim` crate). The interpreter executes the AST directly with
+//! conventional imperative semantics and is deliberately independent of
+//! the CDFG lowering, so agreement between the two is meaningful
+//! evidence of correctness.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Initial memory contents by memory name. Memories absent from the image
+/// start zero-filled.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    /// Map from memory name to initial cell values (shorter vectors are
+    /// zero-extended to the declared size).
+    pub contents: HashMap<String, Vec<i64>>,
+}
+
+impl MemImage {
+    /// Creates an empty image (all memories zero-filled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial contents of one memory (builder style).
+    pub fn with(mut self, name: impl Into<String>, cells: Vec<i64>) -> Self {
+        self.contents.insert(name.into(), cells);
+        self
+    }
+}
+
+/// The result of executing a behavioral description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Final output values. Unassigned outputs read 0 (the hardware reset
+    /// convention shared with the CDFG lowering).
+    pub outputs: BTreeMap<String, i64>,
+    /// Final memory contents by name.
+    pub mems: HashMap<String, Vec<i64>>,
+    /// Statements (plus loop-condition checks) executed.
+    pub steps: u64,
+}
+
+/// Errors raised during execution (or by pre-execution checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A name was declared more than once.
+    Duplicate(String),
+    /// A variable (or input) is referenced but not in scope.
+    Unbound(String),
+    /// A memory name was used where a value was expected, or vice versa.
+    NotAMem(String),
+    /// Assignment to a primary input.
+    AssignToInput(String),
+    /// A required input value was not supplied to [`run`].
+    MissingInput(String),
+    /// The step limit was exhausted (runaway loop).
+    StepLimit,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Duplicate(n) => write!(f, "duplicate declaration of `{n}`"),
+            ExecError::Unbound(n) => write!(f, "`{n}` is not in scope"),
+            ExecError::NotAMem(n) => write!(f, "`{n}` is not a memory"),
+            ExecError::AssignToInput(n) => write!(f, "cannot assign to input `{n}`"),
+            ExecError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            ExecError::StepLimit => write!(f, "step limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Checks the program's name discipline: inputs, outputs, memories, and
+/// top-level declarations must not collide.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Duplicate`] on the first collision.
+pub fn check_names(p: &Program) -> Result<(), ExecError> {
+    let mut seen = HashSet::new();
+    for n in p
+        .inputs
+        .iter()
+        .chain(&p.outputs)
+        .chain(p.mems.iter().map(|(n, _)| n))
+    {
+        if !seen.insert(n.clone()) {
+            return Err(ExecError::Duplicate(n.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Executes a program with the given input values and memory image.
+///
+/// `step_limit` bounds the number of executed statements and loop checks;
+/// exceeding it returns [`ExecError::StepLimit`] (behavioral descriptions
+/// with data-dependent loops may diverge for some inputs).
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run(
+    p: &Program,
+    inputs: &[(&str, i64)],
+    image: &MemImage,
+    step_limit: u64,
+) -> Result<ExecOutcome, ExecError> {
+    check_names(p)?;
+    let input_map: HashMap<&str, i64> = inputs.iter().copied().collect();
+    let mut st = State {
+        inputs: HashMap::new(),
+        outputs: BTreeMap::new(),
+        mems: HashMap::new(),
+        mem_sizes: HashMap::new(),
+        scopes: vec![HashMap::new()],
+        steps: 0,
+        step_limit,
+    };
+    for n in &p.inputs {
+        let v = *input_map
+            .get(n.as_str())
+            .ok_or_else(|| ExecError::MissingInput(n.clone()))?;
+        st.inputs.insert(n.clone(), v);
+    }
+    for n in &p.outputs {
+        st.outputs.insert(n.clone(), 0);
+    }
+    for (n, size) in &p.mems {
+        let mut cells = image.contents.get(n).cloned().unwrap_or_default();
+        cells.resize(*size, 0);
+        cells.truncate(*size);
+        st.mem_sizes.insert(n.clone(), *size);
+        st.mems.insert(n.clone(), cells);
+    }
+    st.block(&p.body)?;
+    Ok(ExecOutcome {
+        outputs: st.outputs,
+        mems: st.mems,
+        steps: st.steps,
+    })
+}
+
+struct State {
+    inputs: HashMap<String, i64>,
+    outputs: BTreeMap<String, i64>,
+    mems: HashMap<String, Vec<i64>>,
+    mem_sizes: HashMap<String, usize>,
+    scopes: Vec<HashMap<String, i64>>,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl State {
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            Err(ExecError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
+        self.scopes.push(HashMap::new());
+        let r = self.stmts(stmts);
+        self.scopes.pop();
+        r
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ExecError> {
+        self.tick()?;
+        match s {
+            Stmt::Var(n, e) => {
+                if self.inputs.contains_key(n)
+                    || self.outputs.contains_key(n)
+                    || self.mems.contains_key(n)
+                    || self.scopes.iter().any(|sc| sc.contains_key(n))
+                {
+                    return Err(ExecError::Duplicate(n.clone()));
+                }
+                let v = self.eval(e)?;
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(n.clone(), v);
+                Ok(())
+            }
+            Stmt::Assign(n, e) => {
+                let v = self.eval(e)?;
+                if self.inputs.contains_key(n) {
+                    return Err(ExecError::AssignToInput(n.clone()));
+                }
+                for sc in self.scopes.iter_mut().rev() {
+                    if let Some(slot) = sc.get_mut(n) {
+                        *slot = v;
+                        return Ok(());
+                    }
+                }
+                if let Some(slot) = self.outputs.get_mut(n) {
+                    *slot = v;
+                    return Ok(());
+                }
+                Err(ExecError::Unbound(n.clone()))
+            }
+            Stmt::Store(m, addr, val) => {
+                let a = self.eval(addr)?;
+                let v = self.eval(val)?;
+                let size = *self.mem_sizes.get(m).ok_or_else(|| ExecError::NotAMem(m.clone()))?;
+                let idx = (a.rem_euclid(size as i64)) as usize;
+                self.mems.get_mut(m).expect("sized memories exist")[idx] = v;
+                Ok(())
+            }
+            Stmt::If(c, t, e) => {
+                if self.eval(c)? != 0 {
+                    self.block(t)
+                } else {
+                    self.block(e)
+                }
+            }
+            Stmt::While(c, b) => {
+                loop {
+                    self.tick()?;
+                    if self.eval(c)? == 0 {
+                        break;
+                    }
+                    self.block(b)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<i64, ExecError> {
+        Ok(match e {
+            Expr::Int(v) => *v,
+            Expr::Ident(n) => {
+                for sc in self.scopes.iter().rev() {
+                    if let Some(&v) = sc.get(n) {
+                        return Ok(v);
+                    }
+                }
+                if let Some(&v) = self.inputs.get(n) {
+                    return Ok(v);
+                }
+                if let Some(&v) = self.outputs.get(n) {
+                    return Ok(v);
+                }
+                if self.mems.contains_key(n) {
+                    return Err(ExecError::NotAMem(n.clone()));
+                }
+                return Err(ExecError::Unbound(n.clone()));
+            }
+            Expr::Load(m, addr) => {
+                let a = self.eval(addr)?;
+                let size = *self
+                    .mem_sizes
+                    .get(m)
+                    .ok_or_else(|| ExecError::NotAMem(m.clone()))?;
+                let idx = (a.rem_euclid(size as i64)) as usize;
+                self.mems[m][idx]
+            }
+            Expr::Unary(UnOp::Not, x) => i64::from(self.eval(x)? == 0),
+            Expr::Unary(UnOp::Neg, x) => self.eval(x)?.wrapping_neg(),
+            Expr::Binary(op, l, r) => {
+                let a = self.eval(l)?;
+                let b = self.eval(r)?;
+                match op {
+                    BinOp::Or => i64::from(a != 0 || b != 0),
+                    BinOp::And => i64::from(a != 0 && b != 0),
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                    BinOp::Shl => a.wrapping_shl((b.rem_euclid(64)) as u32),
+                    BinOp::Shr => a.wrapping_shr((b.rem_euclid(64)) as u32),
+                    BinOp::Xor => a ^ b,
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    fn run_src(src: &str, inputs: &[(&str, i64)]) -> ExecOutcome {
+        let p = Program::parse(src).unwrap();
+        run(&p, inputs, &MemImage::new(), 100_000).unwrap()
+    }
+
+    #[test]
+    fn straight_line() {
+        let o = run_src(
+            "design d { input a, b; output s, p; s = a + b; p = a * b; }",
+            &[("a", 3), ("b", 4)],
+        );
+        assert_eq!(o.outputs["s"], 7);
+        assert_eq!(o.outputs["p"], 12);
+    }
+
+    #[test]
+    fn gcd_computes() {
+        let src = "design gcd { input x, y; output g; var a = x; var b = y; \
+                   while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }";
+        assert_eq!(run_src(src, &[("x", 54), ("y", 24)]).outputs["g"], 6);
+        assert_eq!(run_src(src, &[("x", 7), ("y", 13)]).outputs["g"], 1);
+        assert_eq!(run_src(src, &[("x", 9), ("y", 9)]).outputs["g"], 9);
+    }
+
+    #[test]
+    fn while_with_memory() {
+        let p = Program::parse(
+            "design d { input n; output sum; mem A[8]; var i = 0; var s = 0; \
+             while (i < n) { s = s + A[i]; i = i + 1; } sum = s; }",
+        )
+        .unwrap();
+        let img = MemImage::new().with("A", vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let o = run(&p, &[("n", 5)], &img, 100_000).unwrap();
+        assert_eq!(o.outputs["sum"], 15);
+    }
+
+    #[test]
+    fn store_then_load() {
+        let o = run_src(
+            "design d { input a; output o; mem M[4]; M[1] = a * 2; o = M[1] + M[0]; }",
+            &[("a", 21)],
+        );
+        assert_eq!(o.outputs["o"], 42);
+        assert_eq!(o.mems["M"], vec![0, 42, 0, 0]);
+    }
+
+    #[test]
+    fn address_wraps_modulo_size() {
+        let o = run_src(
+            "design d { input a; output o; mem M[4]; M[5] = 9; o = M[1]; }",
+            &[("a", 0)],
+        );
+        assert_eq!(o.outputs["o"], 9);
+        // Negative addresses wrap too (Euclidean remainder).
+        let o = run_src(
+            "design d { output o; mem M[4]; M[0 - 1] = 7; o = M[3]; }",
+            &[],
+        );
+        assert_eq!(o.outputs["o"], 7);
+    }
+
+    #[test]
+    fn unassigned_output_reads_zero() {
+        let o = run_src("design d { input a; output x, y; x = a; }", &[("a", 5)]);
+        assert_eq!(o.outputs["y"], 0);
+    }
+
+    #[test]
+    fn branch_scoping_drops_locals() {
+        let p = Program::parse(
+            "design d { input a; output o; if (a > 0) { var t = a * 2; o = t; } o = o + t; }",
+        )
+        .unwrap();
+        let e = run(&p, &[("a", 1)], &MemImage::new(), 1000).unwrap_err();
+        assert_eq!(e, ExecError::Unbound("t".into()));
+    }
+
+    #[test]
+    fn step_limit_catches_divergence() {
+        let p = Program::parse("design d { output o; while (1) { o = o + 1; } }").unwrap();
+        let e = run(&p, &[], &MemImage::new(), 500).unwrap_err();
+        assert_eq!(e, ExecError::StepLimit);
+    }
+
+    #[test]
+    fn input_errors() {
+        let p = Program::parse("design d { input a; output o; o = a; }").unwrap();
+        assert_eq!(
+            run(&p, &[], &MemImage::new(), 100).unwrap_err(),
+            ExecError::MissingInput("a".into())
+        );
+        let p = Program::parse("design d { input a; output o; a = 1; }").unwrap();
+        assert_eq!(
+            run(&p, &[("a", 0)], &MemImage::new(), 100).unwrap_err(),
+            ExecError::AssignToInput("a".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let p = Program::parse("design d { input a; output a; }").unwrap();
+        assert_eq!(
+            run(&p, &[("a", 0)], &MemImage::new(), 100).unwrap_err(),
+            ExecError::Duplicate("a".into())
+        );
+        let p = Program::parse("design d { input a; var a = 1; }").unwrap();
+        assert_eq!(
+            run(&p, &[("a", 0)], &MemImage::new(), 100).unwrap_err(),
+            ExecError::Duplicate("a".into())
+        );
+    }
+
+    #[test]
+    fn logic_and_shift_semantics() {
+        let o = run_src(
+            "design d { input a; output w, x, y, z; w = !a; x = a && 0; y = a || 0; z = a >> 1; }",
+            &[("a", 6)],
+        );
+        assert_eq!(o.outputs["w"], 0);
+        assert_eq!(o.outputs["x"], 0);
+        assert_eq!(o.outputs["y"], 1);
+        assert_eq!(o.outputs["z"], 3);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let o = run_src(
+            "design d { input n; output acc; var i = 0; var s = 0; \
+             while (i < n) { var j = 0; while (j < i) { s = s + 1; j = j + 1; } i = i + 1; } \
+             acc = s; }",
+            &[("n", 5)],
+        );
+        assert_eq!(o.outputs["acc"], 10, "0+1+2+3+4");
+    }
+}

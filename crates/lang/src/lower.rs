@@ -1,0 +1,513 @@
+//! Lowering of behavioral descriptions to [`cdfg::Cdfg`].
+//!
+//! The lowering produces exactly the CDFG shapes shown in the paper:
+//!
+//! * `if`/`else` value merges become select operations (Fig. 4's `Sel1`)
+//!   while the branch-resident operations carry branch control
+//!   dependencies — the raw material for fine-grain speculation;
+//! * `while` state becomes loop-carried edges with initial values
+//!   (Fig. 1's `i (0)` / `t4 (0)` annotations) and the continue condition
+//!   becomes the loop's conditional operation;
+//! * values consumed after a loop go through loop-exit views, so the
+//!   scheduler resolves which iteration's version survives.
+//!
+//! Unassigned outputs read 0 (same convention as the interpreter), so the
+//! lowering and [`crate::interp`] agree on every program.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::interp::{check_names, ExecError};
+use cdfg::{Cdfg, CdfgBuilder, CdfgError, MemId, OpId, OpKind, Src};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors produced while compiling a program to a CDFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A semantic error also caught by the interpreter (duplicate names,
+    /// unbound variables, assignment to inputs, …).
+    Semantic(ExecError),
+    /// The produced graph failed CDFG validation — indicates a lowering
+    /// bug, surfaced rather than panicking.
+    Graph(CdfgError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Semantic(e) => write!(f, "{e}"),
+            CompileError::Graph(e) => write!(f, "internal lowering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ExecError> for CompileError {
+    fn from(e: ExecError) -> Self {
+        CompileError::Semantic(e)
+    }
+}
+
+impl From<CdfgError> for CompileError {
+    fn from(e: CdfgError) -> Self {
+        CompileError::Graph(e)
+    }
+}
+
+/// Compiles a behavioral description to a validated CDFG.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Semantic`] for programs the interpreter would
+/// also reject, and [`CompileError::Graph`] if the lowered graph fails
+/// validation (an internal invariant).
+///
+/// # Example
+///
+/// ```
+/// use hls_lang::{lower, Program};
+/// let p = Program::parse(
+///     "design gcd { input x, y; output g; var a = x; var b = y;
+///      while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } }
+///      g = a; }",
+/// )?;
+/// let g = lower::compile(&p)?;
+/// assert_eq!(g.loops().len(), 1);
+/// assert_eq!(g.outputs().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(p: &Program) -> Result<Cdfg, CompileError> {
+    check_names(p)?;
+    let mut lw = Lower {
+        b: CdfgBuilder::new(p.name.clone()),
+        mems: HashMap::new(),
+        inputs: HashSet::new(),
+        env: HashMap::new(),
+    };
+    for n in &p.inputs {
+        let id = lw.b.input(n.clone());
+        lw.inputs.insert(n.clone());
+        lw.env.insert(n.clone(), Src::Op(id));
+    }
+    // Outputs behave like variables initialized to 0 (hardware reset).
+    for n in &p.outputs {
+        let zero = lw.b.constant(0);
+        lw.env.insert(n.clone(), Src::Op(zero));
+    }
+    for (n, size) in &p.mems {
+        let id = lw.b.mem(n.clone(), *size);
+        lw.mems.insert(n.clone(), id);
+    }
+    lw.block(&p.body)?;
+    for n in &p.outputs {
+        let src = lw.env[n];
+        lw.b.output(n.clone(), src);
+    }
+    Ok(lw.b.finish()?)
+}
+
+struct Lower {
+    b: CdfgBuilder,
+    mems: HashMap<String, MemId>,
+    inputs: HashSet<String>,
+    /// Flat environment: name → current value source. Block locals are
+    /// removed on scope exit by the caller.
+    env: HashMap<String, Src>,
+}
+
+impl Lower {
+    /// Lowers a block, dropping `var` declarations made inside it.
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        let mut declared = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut declared)?;
+        }
+        for n in declared {
+            self.env.remove(&n);
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, declared: &mut Vec<String>) -> Result<(), CompileError> {
+        match s {
+            Stmt::Var(n, e) => {
+                if self.env.contains_key(n) || self.mems.contains_key(n) {
+                    return Err(ExecError::Duplicate(n.clone()).into());
+                }
+                let v = self.expr(e)?;
+                self.env.insert(n.clone(), v);
+                declared.push(n.clone());
+                Ok(())
+            }
+            Stmt::Assign(n, e) => {
+                if self.inputs.contains(n) {
+                    return Err(ExecError::AssignToInput(n.clone()).into());
+                }
+                let v = self.expr(e)?;
+                match self.env.get_mut(n) {
+                    Some(slot) => {
+                        *slot = v;
+                        Ok(())
+                    }
+                    None => Err(ExecError::Unbound(n.clone()).into()),
+                }
+            }
+            Stmt::Store(m, addr, val) => {
+                let mid = *self
+                    .mems
+                    .get(m)
+                    .ok_or_else(|| ExecError::NotAMem(m.clone()))?;
+                let a = self.expr(addr)?;
+                let v = self.expr(val)?;
+                self.b.mem_write(mid, a, v);
+                Ok(())
+            }
+            Stmt::If(c, t, e) => self.lower_if(c, t, e),
+            Stmt::While(c, b) => self.lower_while(c, b),
+        }
+    }
+
+    fn lower_if(&mut self, c: &Expr, t: &[Stmt], e: &[Stmt]) -> Result<(), CompileError> {
+        let cond_src = self.expr(c)?;
+        let cond = self.as_condition(cond_src);
+        // Variables (already in scope) assigned in either branch get merged
+        // through selects afterwards.
+        let merged: Vec<String> = {
+            let mut set = HashSet::new();
+            assigned_vars(t, &mut HashSet::new(), &mut set);
+            assigned_vars(e, &mut HashSet::new(), &mut set);
+            let mut v: Vec<String> = set
+                .into_iter()
+                .filter(|n| self.env.contains_key(n))
+                .collect();
+            v.sort();
+            v
+        };
+        let saved = self.env.clone();
+        self.b.begin_if(cond);
+        self.block(t)?;
+        let env_t = std::mem::replace(&mut self.env, saved.clone());
+        self.b.begin_else();
+        self.block(e)?;
+        let env_f = std::mem::replace(&mut self.env, saved);
+        self.b.end_if();
+        for n in merged {
+            let tv = env_t[&n];
+            let fv = env_f[&n];
+            if tv == fv {
+                self.env.insert(n, tv);
+            } else {
+                let sel = self.b.select(Src::Op(cond), tv, fv);
+                self.env.insert(n, Src::Op(sel));
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_while(&mut self, c: &Expr, body: &[Stmt]) -> Result<(), CompileError> {
+        let carried_names: Vec<String> = {
+            let mut set = HashSet::new();
+            assigned_vars(body, &mut HashSet::new(), &mut set);
+            let mut v: Vec<String> = set
+                .into_iter()
+                .filter(|n| self.env.contains_key(n))
+                .collect();
+            v.sort();
+            v
+        };
+        // Materialize initial values outside the loop.
+        let inits: Vec<OpId> = carried_names
+            .iter()
+            .map(|n| self.b.pass(self.env[n]))
+            .collect();
+        let ops_before = self.b.op_count();
+        self.b.begin_loop();
+        let slots: Vec<cdfg::CarriedId> = inits.iter().map(|&i| self.b.carried(i)).collect();
+        for (n, &cid) in carried_names.iter().zip(&slots) {
+            self.env.insert(n.clone(), Src::Carried(cid));
+        }
+        let cond_src = self.expr(c)?;
+        let mut cond = self.as_condition(cond_src);
+        if cond.index() < ops_before {
+            // Loop-invariant condition: re-evaluate it inside the loop so
+            // the continue condition is a loop member, as the CDFG model
+            // requires.
+            let zero = self.b.constant(0);
+            cond = self.b.op(OpKind::Ne, &[Src::Op(cond), Src::Op(zero)]);
+        }
+        self.b.loop_condition(cond);
+        self.block(body)?;
+        for (n, &cid) in carried_names.iter().zip(&slots) {
+            let next = self.b.pass(self.env[n]);
+            self.b.set_carried(cid, next);
+        }
+        self.b.end_loop();
+        for (n, &cid) in carried_names.iter().zip(&slots) {
+            let ev = self.b.exit_value(cid);
+            self.env.insert(n.clone(), Src::Op(ev));
+        }
+        Ok(())
+    }
+
+    /// Coerces a value into a condition-producing operation (for `if`
+    /// conditions, `while` conditions, and select steering).
+    fn as_condition(&mut self, src: Src) -> OpId {
+        if let Src::Op(id) = src {
+            if self.b.kind_of(id).is_condition_producer() {
+                return id;
+            }
+        }
+        let zero = self.b.constant(0);
+        self.b.op(OpKind::Ne, &[src, Src::Op(zero)])
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Src, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => Src::Op(self.b.constant(*v)),
+            Expr::Ident(n) => {
+                if self.mems.contains_key(n) {
+                    return Err(ExecError::NotAMem(n.clone()).into());
+                }
+                *self
+                    .env
+                    .get(n)
+                    .ok_or_else(|| ExecError::Unbound(n.clone()))?
+            }
+            Expr::Load(m, addr) => {
+                let mid = *self
+                    .mems
+                    .get(m)
+                    .ok_or_else(|| ExecError::NotAMem(m.clone()))?;
+                let a = self.expr(addr)?;
+                Src::Op(self.b.mem_read(mid, a))
+            }
+            Expr::Unary(UnOp::Not, x) => {
+                let v = self.expr(x)?;
+                Src::Op(self.b.op(OpKind::Not, &[v]))
+            }
+            Expr::Unary(UnOp::Neg, x) => {
+                let v = self.expr(x)?;
+                Src::Op(self.b.op(OpKind::Neg, &[v]))
+            }
+            Expr::Binary(op, l, r) => {
+                let a = self.expr(l)?;
+                let b = self.expr(r)?;
+                let kind = match op {
+                    BinOp::Or => OpKind::Or,
+                    BinOp::And => OpKind::And,
+                    BinOp::Eq => OpKind::Eq,
+                    BinOp::Ne => OpKind::Ne,
+                    BinOp::Lt => OpKind::Lt,
+                    BinOp::Le => OpKind::Le,
+                    BinOp::Gt => OpKind::Gt,
+                    BinOp::Ge => OpKind::Ge,
+                    BinOp::Shl => OpKind::Shl,
+                    BinOp::Shr => OpKind::Shr,
+                    BinOp::Xor => OpKind::Xor,
+                    BinOp::Add => self.incdec_or(OpKind::Add, a, b, l, r),
+                    BinOp::Sub => self.incdec_or(OpKind::Sub, a, b, l, r),
+                    BinOp::Mul => OpKind::Mul,
+                };
+                match kind {
+                    OpKind::Inc => Src::Op(self.b.op(OpKind::Inc, &[a])),
+                    OpKind::Dec => Src::Op(self.b.op(OpKind::Dec, &[a])),
+                    k => Src::Op(self.b.op(k, &[a, b])),
+                }
+            }
+        })
+    }
+
+    /// Maps `x + 1` / `x - 1` onto the incrementer class, as the paper's
+    /// examples do (`++1` in Fig. 1 is `i = i + 1`).
+    fn incdec_or(&self, kind: OpKind, _a: Src, _b: Src, _l: &Expr, r: &Expr) -> OpKind {
+        match (kind, r) {
+            (OpKind::Add, Expr::Int(1)) => OpKind::Inc,
+            (OpKind::Sub, Expr::Int(1)) => OpKind::Dec,
+            (k, _) => k,
+        }
+    }
+}
+
+/// Collects names assigned in `stmts` that refer to bindings declared
+/// *outside* the subtree (`declared` carries the locally declared names).
+fn assigned_vars(stmts: &[Stmt], declared: &mut HashSet<String>, out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Var(n, _) => {
+                declared.insert(n.clone());
+            }
+            Stmt::Assign(n, _) => {
+                if !declared.contains(n) {
+                    out.insert(n.clone());
+                }
+            }
+            Stmt::Store(..) => {}
+            Stmt::If(_, t, e) => {
+                let mut dt = declared.clone();
+                assigned_vars(t, &mut dt, out);
+                let mut de = declared.clone();
+                assigned_vars(e, &mut de, out);
+            }
+            Stmt::While(_, b) => {
+                let mut db = declared.clone();
+                assigned_vars(b, &mut db, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+    use cdfg::CtrlKind;
+
+    fn compile_src(src: &str) -> Cdfg {
+        compile(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_structure() {
+        let g = compile_src("design d { input a, b; output s; s = a + b; }");
+        assert_eq!(g.inputs().len(), 2);
+        assert_eq!(g.outputs().len(), 1);
+        assert!(g.loops().is_empty());
+        assert!(g.ops().iter().any(|o| o.kind() == OpKind::Add));
+    }
+
+    #[test]
+    fn gcd_structure() {
+        let g = compile_src(
+            "design gcd { input x, y; output g; var a = x; var b = y; \
+             while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }",
+        );
+        assert_eq!(g.loops().len(), 1);
+        let lp = &g.loops()[0];
+        assert_eq!(g.op(lp.cond()).kind(), OpKind::Ne);
+        // Two subtractions, gated on opposite branch polarities.
+        let subs: Vec<_> = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind() == OpKind::Sub)
+            .collect();
+        assert_eq!(subs.len(), 2);
+        let pol = |o: &cdfg::Op| {
+            o.ctrl_deps()
+                .iter()
+                .find(|d| d.kind == CtrlKind::Branch)
+                .map(|d| d.polarity)
+        };
+        assert_eq!(pol(subs[0]), Some(true));
+        assert_eq!(pol(subs[1]), Some(false));
+        // The branch merge is a select.
+        assert!(g.ops().iter().any(|o| o.kind() == OpKind::Select));
+    }
+
+    #[test]
+    fn plus_one_becomes_incrementer() {
+        let g = compile_src(
+            "design d { input n; output o; var i = 0; while (i < n) { i = i + 1; } o = i; }",
+        );
+        assert!(g.ops().iter().any(|o| o.kind() == OpKind::Inc));
+        assert!(!g.ops().iter().any(|o| o.kind() == OpKind::Add));
+    }
+
+    #[test]
+    fn invariant_while_condition_reevaluated_inside() {
+        let g = compile_src(
+            "design d { input c; output o; var x = 0; var cc = c > 0; \
+             while (cc) { x = x + 2; cc = 0; } o = x; }",
+        );
+        // cc is carried; condition `cc != 0` is evaluated inside the loop.
+        let lp = &g.loops()[0];
+        assert!(g.loop_info(lp.id()).members().contains(&lp.cond()));
+    }
+
+    #[test]
+    fn non_comparison_if_condition_is_wrapped() {
+        let g = compile_src("design d { input a; output o; if (a) { o = 1; } else { o = 2; } }");
+        // The Ne wrapper must exist and be the branch condition.
+        let branch_cond = g
+            .ops()
+            .iter()
+            .flat_map(|o| o.ctrl_deps())
+            .find(|d| d.kind == CtrlKind::Branch)
+            .unwrap()
+            .cond;
+        assert_eq!(g.op(branch_cond).kind(), OpKind::Ne);
+    }
+
+    #[test]
+    fn unchanged_branch_variable_avoids_select() {
+        let g = compile_src(
+            "design d { input a; output o; var x = 5; if (a > 0) { x = x; } o = x; }",
+        );
+        assert!(
+            !g.ops().iter().any(|o| o.kind() == OpKind::Select),
+            "assigning the same source needs no select"
+        );
+    }
+
+    #[test]
+    fn semantic_errors_match_interpreter() {
+        let p = Program::parse("design d { input a; output o; a = 1; }").unwrap();
+        assert!(matches!(
+            compile(&p).unwrap_err(),
+            CompileError::Semantic(ExecError::AssignToInput(_))
+        ));
+        let p = Program::parse("design d { output o; o = zz; }").unwrap();
+        assert!(matches!(
+            compile(&p).unwrap_err(),
+            CompileError::Semantic(ExecError::Unbound(_))
+        ));
+        let p = Program::parse("design d { output o; mem M[2]; o = M; }").unwrap();
+        assert!(matches!(
+            compile(&p).unwrap_err(),
+            CompileError::Semantic(ExecError::NotAMem(_))
+        ));
+    }
+
+    #[test]
+    fn loop_local_vars_are_not_carried() {
+        let g = compile_src(
+            "design d { input n; output o; var i = 0; \
+             while (i < n) { var t = i * 2; i = i + 1; } o = i; }",
+        );
+        // Only `i` is carried: exactly one exit pass for the data var, plus
+        // possibly none for memories (no memories here).
+        let passes = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind() == OpKind::Pass)
+            .count();
+        assert_eq!(passes, 1, "one exit view for i");
+    }
+
+    #[test]
+    fn store_in_branch_keeps_branch_dep() {
+        let g = compile_src(
+            "design d { input a; output o; mem M[4]; \
+             if (a > 0) { M[0] = a; } else { M[1] = a; } o = M[0]; }",
+        );
+        let writes: Vec<_> = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind(), OpKind::MemWrite(_)))
+            .collect();
+        assert_eq!(writes.len(), 2);
+        for w in writes {
+            assert!(w.ctrl_deps().iter().any(|d| d.kind == CtrlKind::Branch));
+        }
+    }
+
+    #[test]
+    fn nested_loop_lowering_validates() {
+        let g = compile_src(
+            "design d { input n; output acc; var i = 0; var s = 0; \
+             while (i < n) { var j = 0; while (j < i) { s = s + 2; j = j + 1; } i = i + 1; } \
+             acc = s; }",
+        );
+        assert_eq!(g.loops().len(), 2);
+        assert_eq!(g.loops()[1].parent(), Some(g.loops()[0].id()));
+    }
+}

@@ -1,0 +1,415 @@
+//! Recursive-descent parser for behavioral descriptions.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::token::{lex, TokKind, Token};
+use std::fmt;
+
+/// A parse (or lex) error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Program {
+    /// Parses a behavioral description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with position information on malformed
+    /// input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hls_lang::Program;
+    /// let p = Program::parse("design d { input a; output o; o = a * 2; }")?;
+    /// assert_eq!(p.name, "d");
+    /// # Ok::<(), hls_lang::ParseError>(())
+    /// ```
+    pub fn parse(src: &str) -> Result<Program, ParseError> {
+        let tokens = lex(src)?;
+        let mut p = Parser { tokens, pos: 0 };
+        p.program()
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &TokKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokKind) -> Result<Token, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.expect(TokKind::KwDesign)?;
+        let name = self.ident()?;
+        self.expect(TokKind::LBrace)?;
+        let mut prog = Program {
+            name,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            mems: Vec::new(),
+            body: Vec::new(),
+        };
+        loop {
+            match self.peek().kind {
+                TokKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokKind::KwInput => {
+                    self.bump();
+                    self.ident_list(&mut prog.inputs)?;
+                }
+                TokKind::KwOutput => {
+                    self.bump();
+                    self.ident_list(&mut prog.outputs)?;
+                }
+                TokKind::KwMem => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(TokKind::LBracket)?;
+                    let size = match self.peek().kind {
+                        TokKind::Int(v) if v > 0 => {
+                            self.bump();
+                            v as usize
+                        }
+                        _ => return self.err("expected a positive memory size"),
+                    };
+                    self.expect(TokKind::RBracket)?;
+                    self.expect(TokKind::Semi)?;
+                    prog.mems.push((name, size));
+                }
+                TokKind::Eof => return self.err("unexpected end of input (missing `}`)"),
+                _ => {
+                    let s = self.stmt()?;
+                    prog.body.push(s);
+                }
+            }
+        }
+        self.expect(TokKind::Eof)?;
+        Ok(prog)
+    }
+
+    fn ident_list(&mut self, out: &mut Vec<String>) -> Result<(), ParseError> {
+        loop {
+            out.push(self.ident()?);
+            match self.peek().kind {
+                TokKind::Comma => {
+                    self.bump();
+                }
+                TokKind::Semi => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => return self.err("expected `,` or `;` in declaration list"),
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokKind::LBrace)?;
+        let mut out = Vec::new();
+        while self.peek().kind != TokKind::RBrace {
+            if self.peek().kind == TokKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::KwVar => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokKind::Assign)?;
+                let e = self.expr()?;
+                self.expect(TokKind::Semi)?;
+                Ok(Stmt::Var(name, e))
+            }
+            TokKind::KwIf => {
+                self.bump();
+                self.expect(TokKind::LParen)?;
+                let c = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                let t = self.block()?;
+                let e = if self.peek().kind == TokKind::KwElse {
+                    self.bump();
+                    if self.peek().kind == TokKind::KwIf {
+                        // `else if` sugar.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, t, e))
+            }
+            TokKind::KwWhile => {
+                self.bump();
+                self.expect(TokKind::LParen)?;
+                let c = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                let b = self.block()?;
+                Ok(Stmt::While(c, b))
+            }
+            TokKind::Ident(name) => {
+                if *self.peek2() == TokKind::LBracket {
+                    self.bump();
+                    self.bump();
+                    let addr = self.expr()?;
+                    self.expect(TokKind::RBracket)?;
+                    self.expect(TokKind::Assign)?;
+                    let v = self.expr()?;
+                    self.expect(TokKind::Semi)?;
+                    Ok(Stmt::Store(name, addr, v))
+                } else {
+                    self.bump();
+                    self.expect(TokKind::Assign)?;
+                    let e = self.expr()?;
+                    self.expect(TokKind::Semi)?;
+                    Ok(Stmt::Assign(name, e))
+                }
+            }
+            other => self.err(format!("expected a statement, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over left-associative binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek().kind {
+                TokKind::OrOr => (BinOp::Or, 1),
+                TokKind::AndAnd => (BinOp::And, 2),
+                TokKind::EqEq => (BinOp::Eq, 3),
+                TokKind::Ne => (BinOp::Ne, 3),
+                TokKind::Lt => (BinOp::Lt, 3),
+                TokKind::Le => (BinOp::Le, 3),
+                TokKind::Gt => (BinOp::Gt, 3),
+                TokKind::Ge => (BinOp::Ge, 3),
+                TokKind::Shl => (BinOp::Shl, 4),
+                TokKind::Shr => (BinOp::Shr, 4),
+                TokKind::Caret => (BinOp::Xor, 5),
+                TokKind::Plus => (BinOp::Add, 6),
+                TokKind::Minus => (BinOp::Sub, 6),
+                TokKind::Star => (BinOp::Mul, 7),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind {
+            TokKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            TokKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                if self.peek().kind == TokKind::LBracket {
+                    self.bump();
+                    let addr = self.expr()?;
+                    self.expect(TokKind::RBracket)?;
+                    Ok(Expr::Load(name, Box::new(addr)))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gcd() {
+        let src = "design gcd { input x, y; output g; var a = x; var b = y; \
+                   while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }";
+        let p = Program::parse(src).unwrap();
+        assert_eq!(p.name, "gcd");
+        assert_eq!(p.inputs, vec!["x", "y"]);
+        assert_eq!(p.outputs, vec!["g"]);
+        assert_eq!(p.body.len(), 4);
+        assert!(matches!(p.body[2], Stmt::While(..)));
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = Program::parse("design d { output o; o = 1 + 2 * 3; }").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Add, l, r)) => {
+                assert_eq!(**l, Expr::Int(1));
+                assert!(matches!(**r, Expr::Binary(BinOp::Mul, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = Program::parse("design d { output o; o = 10 - 3 - 2; }").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Sub, l, r)) => {
+                assert!(matches!(**l, Expr::Binary(BinOp::Sub, ..)));
+                assert_eq!(**r, Expr::Int(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arith() {
+        let p = Program::parse("design d { output o; o = 1 + 2 < 3 * 4; }").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(_, Expr::Binary(BinOp::Lt, ..)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = Program::parse(
+            "design d { input a; output o; if (a > 2) { o = 2; } else if (a > 1) { o = 1; } else { o = 0; } }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If(_, _, els) => assert!(matches!(els[0], Stmt::If(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_declaration_store_load() {
+        let p =
+            Program::parse("design d { input a; output o; mem M[4]; M[0] = a; o = M[0]; }")
+                .unwrap();
+        assert_eq!(p.mems, vec![("M".to_string(), 4)]);
+        assert!(matches!(p.body[0], Stmt::Store(..)));
+        match &p.body[1] {
+            Stmt::Assign(_, Expr::Load(m, _)) => assert_eq!(m, "M"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_print_reparses() {
+        let src = "design gcd { input x, y; output g; mem M[8]; var a = x; var b = y; \
+                   while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } \
+                   M[a] = b; } g = a + M[0] * 2 - (3 << 1); }";
+        let p1 = Program::parse(src).unwrap();
+        let p2 = Program::parse(&p1.to_string()).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = Program::parse("design d {\n  input a\n}").unwrap_err();
+        assert_eq!(e.line, 3, "missing semicolon detected at the brace");
+        let e = Program::parse("design d { output o; o = ; }").unwrap_err();
+        assert!(e.message.contains("expected an expression"));
+    }
+
+    #[test]
+    fn rejects_missing_design_keyword() {
+        assert!(Program::parse("module d {}").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_size_memory() {
+        assert!(Program::parse("design d { mem M[0]; }").is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Lexer for the behavioral description language.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    Ident(String),
+    Int(i64),
+    KwDesign,
+    KwInput,
+    KwOutput,
+    KwMem,
+    KwVar,
+    KwIf,
+    KwElse,
+    KwWhile,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    OrOr,
+    AndAnd,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Caret,
+    Plus,
+    Minus,
+    Star,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(v) => write!(f, "integer `{v}`"),
+            KwDesign => write!(f, "`design`"),
+            KwInput => write!(f, "`input`"),
+            KwOutput => write!(f, "`output`"),
+            KwMem => write!(f, "`mem`"),
+            KwVar => write!(f, "`var`"),
+            KwIf => write!(f, "`if`"),
+            KwElse => write!(f, "`else`"),
+            KwWhile => write!(f, "`while`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Semi => write!(f, "`;`"),
+            Comma => write!(f, "`,`"),
+            Assign => write!(f, "`=`"),
+            OrOr => write!(f, "`||`"),
+            AndAnd => write!(f, "`&&`"),
+            EqEq => write!(f, "`==`"),
+            Ne => write!(f, "`!=`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            Shl => write!(f, "`<<`"),
+            Shr => write!(f, "`>>`"),
+            Caret => write!(f, "`^`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Bang => write!(f, "`!`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexes the whole input. `//` comments run to end of line.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, crate::ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! tok {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let c2 = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if c2 == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => tok!(TokKind::LBrace, 1),
+            '}' => tok!(TokKind::RBrace, 1),
+            '(' => tok!(TokKind::LParen, 1),
+            ')' => tok!(TokKind::RParen, 1),
+            '[' => tok!(TokKind::LBracket, 1),
+            ']' => tok!(TokKind::RBracket, 1),
+            ';' => tok!(TokKind::Semi, 1),
+            ',' => tok!(TokKind::Comma, 1),
+            '^' => tok!(TokKind::Caret, 1),
+            '+' => tok!(TokKind::Plus, 1),
+            '-' => tok!(TokKind::Minus, 1),
+            '*' => tok!(TokKind::Star, 1),
+            '|' if c2 == Some('|') => tok!(TokKind::OrOr, 2),
+            '&' if c2 == Some('&') => tok!(TokKind::AndAnd, 2),
+            '=' if c2 == Some('=') => tok!(TokKind::EqEq, 2),
+            '=' => tok!(TokKind::Assign, 1),
+            '!' if c2 == Some('=') => tok!(TokKind::Ne, 2),
+            '!' => tok!(TokKind::Bang, 1),
+            '<' if c2 == Some('<') => tok!(TokKind::Shl, 2),
+            '<' if c2 == Some('=') => tok!(TokKind::Le, 2),
+            '<' => tok!(TokKind::Lt, 1),
+            '>' if c2 == Some('>') => tok!(TokKind::Shr, 2),
+            '>' if c2 == Some('=') => tok!(TokKind::Ge, 2),
+            '>' => tok!(TokKind::Gt, 1),
+            d if d.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| crate::ParseError {
+                    line,
+                    col,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Token {
+                    kind: TokKind::Int(v),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "design" => TokKind::KwDesign,
+                    "input" => TokKind::KwInput,
+                    "output" => TokKind::KwOutput,
+                    "mem" => TokKind::KwMem,
+                    "var" => TokKind::KwVar,
+                    "if" => TokKind::KwIf,
+                    "else" => TokKind::KwElse,
+                    "while" => TokKind::KwWhile,
+                    _ => TokKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line, col });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(crate::ParseError {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_keywords() {
+        let k = kinds("design d { input a; while (a >= 1) { a = a - 1; } }");
+        assert_eq!(k[0], TokKind::KwDesign);
+        assert!(k.contains(&TokKind::KwWhile));
+        assert!(k.contains(&TokKind::Ge));
+        assert!(k.contains(&TokKind::Minus));
+        assert_eq!(*k.last().unwrap(), TokKind::Eof);
+    }
+
+    #[test]
+    fn distinguishes_two_char_operators() {
+        assert_eq!(
+            kinds("== = != ! <= < << >= > >> && ||")
+                .into_iter()
+                .take(12)
+                .collect::<Vec<_>>(),
+            vec![
+                TokKind::EqEq,
+                TokKind::Assign,
+                TokKind::Ne,
+                TokKind::Bang,
+                TokKind::Le,
+                TokKind::Lt,
+                TokKind::Shl,
+                TokKind::Ge,
+                TokKind::Gt,
+                TokKind::Shr,
+                TokKind::AndAnd,
+                TokKind::OrOr,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // whole line\nb");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Ident("b".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains('$'));
+        assert_eq!(e.col, 3);
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

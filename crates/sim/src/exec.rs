@@ -1,0 +1,409 @@
+//! Direct CDFG execution and branch profiling.
+//!
+//! Executes a CDFG with conventional sequential semantics — loops
+//! iterate, branches select — without any scheduling. This serves two
+//! purposes:
+//!
+//! * a **second golden model**, structurally independent of both the
+//!   `hls-lang` interpreter (which walks the AST) and the STG simulator
+//!   (which executes schedules), so three-way agreement is strong
+//!   evidence of functional correctness;
+//! * the **profiler**: it tallies how often every conditional operation
+//!   evaluates true over a trace set, producing the branch probabilities
+//!   the paper's scheduler consumes (Sec. 2: "profiling information that
+//!   indicates the branch probabilities").
+
+use cdfg::analysis::{intra_topo_order, BranchProbs};
+use cdfg::{Cdfg, CtrlKind, LoopId, OpId, OpKind, PortKind, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of one CDFG execution.
+#[derive(Debug, Clone)]
+pub struct CdfgOutcome {
+    /// Final outputs by name.
+    pub outputs: BTreeMap<String, Value>,
+    /// Final memory contents by name.
+    pub mems: HashMap<String, Vec<Value>>,
+    /// Per conditional op: (times true, times evaluated meaningfully).
+    pub cond_stats: HashMap<OpId, (u64, u64)>,
+    /// Operation evaluations performed (a step-limit proxy).
+    pub steps: u64,
+}
+
+/// Errors raised by direct execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecCdfgError {
+    /// The step limit was exhausted (runaway loop).
+    StepLimit,
+    /// A required input was not supplied.
+    MissingInput(String),
+}
+
+impl std::fmt::Display for ExecCdfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecCdfgError::StepLimit => write!(f, "step limit exhausted"),
+            ExecCdfgError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ExecCdfgError {}
+
+/// Executes `g` on one input vector.
+///
+/// # Errors
+///
+/// See [`ExecCdfgError`].
+pub fn execute_cdfg(
+    g: &Cdfg,
+    inputs: &[(&str, Value)],
+    mem_init: &HashMap<String, Vec<Value>>,
+    step_limit: u64,
+) -> Result<CdfgOutcome, ExecCdfgError> {
+    let by_name: HashMap<&str, Value> = inputs.iter().copied().collect();
+    let mut input_vals = Vec::new();
+    for (_, name) in g.inputs() {
+        input_vals.push(
+            by_name
+                .get(name.as_str())
+                .copied()
+                .ok_or_else(|| ExecCdfgError::MissingInput(name.clone()))?,
+        );
+    }
+    let mut ex = Exec {
+        g,
+        order: intra_topo_order(g).expect("validated CDFG"),
+        input_vals,
+        mems: g
+            .mems()
+            .iter()
+            .map(|m| {
+                let mut cells = mem_init.get(m.name()).cloned().unwrap_or_default();
+                cells.resize(m.size(), 0);
+                cells.truncate(m.size());
+                cells
+            })
+            .collect(),
+        outputs: vec![0; g.outputs().len()],
+        env: HashMap::new(),
+        prev: HashMap::new(),
+        first_iter: HashMap::new(),
+        ran_body: HashMap::new(),
+        cond_stats: HashMap::new(),
+        steps: 0,
+        step_limit,
+    };
+    ex.region(&[])?;
+    Ok(CdfgOutcome {
+        outputs: g
+            .outputs()
+            .iter()
+            .map(|(id, name)| (name.clone(), ex.outputs[id.index()]))
+            .collect(),
+        mems: g
+            .mems()
+            .iter()
+            .map(|m| (m.name().to_string(), ex.mems[m.id().index()].clone()))
+            .collect(),
+        cond_stats: ex.cond_stats,
+        steps: ex.steps,
+    })
+}
+
+/// Profiles `g` over a set of input vectors, producing the branch
+/// probabilities the scheduler consumes. Runs that exceed `step_limit`
+/// are skipped (their partial tallies are kept).
+pub fn profile_cdfg(
+    g: &Cdfg,
+    runs: &[Vec<(&str, Value)>],
+    mem_init: &HashMap<String, Vec<Value>>,
+    step_limit: u64,
+) -> BranchProbs {
+    let mut tally: HashMap<OpId, (u64, u64)> = HashMap::new();
+    for inputs in runs {
+        if let Ok(out) = execute_cdfg(g, inputs, mem_init, step_limit) {
+            for (op, (t, n)) in out.cond_stats {
+                let e = tally.entry(op).or_insert((0, 0));
+                e.0 += t;
+                e.1 += n;
+            }
+        }
+    }
+    let mut probs = BranchProbs::new();
+    for (op, (t, n)) in tally {
+        if n > 0 {
+            probs.set(op, t as f64 / n as f64);
+        }
+    }
+    probs
+}
+
+struct Exec<'a> {
+    g: &'a Cdfg,
+    order: Vec<OpId>,
+    input_vals: Vec<Value>,
+    mems: Vec<Vec<Value>>,
+    outputs: Vec<Value>,
+    /// Current value of every op (latest wave).
+    env: HashMap<OpId, Value>,
+    /// Per loop: the previous iteration's values of its members.
+    prev: HashMap<LoopId, HashMap<OpId, Value>>,
+    /// Per loop: executing its first iteration (carried ports read
+    /// inits).
+    first_iter: HashMap<LoopId, bool>,
+    /// Per loop: the body ran at least once (exit views read `prev`-era
+    /// values; else the init).
+    ran_body: HashMap<LoopId, bool>,
+    cond_stats: HashMap<OpId, (u64, u64)>,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Exec<'_> {
+    fn tick(&mut self) -> Result<(), ExecCdfgError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            Err(ExecCdfgError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Executes all ops whose loop path equals `path` in topological
+    /// order, recursing into directly nested loops when first reached.
+    fn region(&mut self, path: &[LoopId]) -> Result<(), ExecCdfgError> {
+        let order = self.order.clone();
+        let mut entered: Vec<LoopId> = Vec::new();
+        for id in order {
+            let op_path: Vec<LoopId> = self.g.op(id).loop_path().to_vec();
+            if op_path == path {
+                self.eval_op(id)?;
+            } else if op_path.len() > path.len() && op_path.starts_with(path) {
+                let nested = op_path[path.len()];
+                if !entered.contains(&nested) {
+                    entered.push(nested);
+                    self.exec_loop(nested)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_loop(&mut self, l: LoopId) -> Result<(), ExecCdfgError> {
+        let info = self.g.loop_info(l);
+        let cond = info.cond();
+        let cone: Vec<OpId> = info.cond_cone().to_vec();
+        let members: Vec<OpId> = info.members().to_vec();
+        let path: Vec<LoopId> = self.g.op(cond).loop_path().to_vec();
+        self.first_iter.insert(l, true);
+        self.ran_body.insert(l, false);
+        loop {
+            self.tick()?;
+            // Evaluate the condition cone (in topo order).
+            let order = self.order.clone();
+            for id in order.iter().copied() {
+                if cone.contains(&id) {
+                    self.eval_op(id)?;
+                }
+            }
+            if self.env[&cond] == 0 {
+                break;
+            }
+            // Body: direct members in topo order, recursing into nested
+            // loops; cone ops were already evaluated.
+            let mut entered: Vec<LoopId> = Vec::new();
+            for id in order.iter().copied() {
+                if !members.contains(&id) || cone.contains(&id) {
+                    continue;
+                }
+                let op_path: Vec<LoopId> = self.g.op(id).loop_path().to_vec();
+                if op_path == path {
+                    self.eval_op(id)?;
+                } else if op_path.len() > path.len() && op_path.starts_with(&path) {
+                    let nested = op_path[path.len()];
+                    if !entered.contains(&nested) {
+                        entered.push(nested);
+                        self.exec_loop(nested)?;
+                    }
+                }
+            }
+            // Snapshot this iteration's values for next iteration's
+            // carried reads.
+            let snap: HashMap<OpId, Value> = members
+                .iter()
+                .filter_map(|m| self.env.get(m).map(|&v| (*m, v)))
+                .collect();
+            self.prev.insert(l, snap);
+            self.first_iter.insert(l, false);
+            self.ran_body.insert(l, true);
+        }
+        Ok(())
+    }
+
+    fn read_port(&self, consumer: OpId, p: &PortKind) -> Value {
+        match *p {
+            PortKind::Wire(s) => self.env[&s],
+            PortKind::Carried { lp, src, init } => {
+                if self.first_iter.get(&lp).copied().unwrap_or(true) {
+                    self.env[&init]
+                } else {
+                    self.prev[&lp][&src]
+                }
+            }
+            PortKind::Exit { lp, src, init } => {
+                let _ = consumer;
+                if self.ran_body.get(&lp).copied().unwrap_or(false) {
+                    // Body values of the last completed iteration remain
+                    // in env (the final cone evaluation only overwrote
+                    // cone ops).
+                    self.env[&src]
+                } else {
+                    self.env[&init]
+                }
+            }
+        }
+    }
+
+    fn eval_op(&mut self, id: OpId) -> Result<(), ExecCdfgError> {
+        self.tick()?;
+        let op = self.g.op(id);
+        let kind = op.kind();
+        let vals: Vec<Value> = op
+            .ports()
+            .iter()
+            .map(|p| self.read_port(id, p))
+            .collect();
+        // Side effects commit only when the realized branch conditions
+        // hold (loop gating is implied by reaching this point).
+        let branches_hold = op
+            .ctrl_deps()
+            .iter()
+            .filter(|d| d.kind == CtrlKind::Branch)
+            .all(|d| (self.env[&d.cond] != 0) == d.polarity);
+        let result = match kind {
+            OpKind::Const(v) => v,
+            OpKind::Input(i) => self.input_vals[i.index()],
+            OpKind::MemRead(m) => {
+                let mem = &self.mems[m.index()];
+                let idx = vals[0].rem_euclid(mem.len() as Value) as usize;
+                mem[idx]
+            }
+            OpKind::MemWrite(m) => {
+                if branches_hold {
+                    let mem = &mut self.mems[m.index()];
+                    let idx = vals[0].rem_euclid(mem.len() as Value) as usize;
+                    mem[idx] = vals[1];
+                }
+                vals[1]
+            }
+            OpKind::Output(o) => {
+                if branches_hold {
+                    self.outputs[o.index()] = vals[0];
+                }
+                vals[0]
+            }
+            k => k.eval(&vals, None),
+        };
+        self.env.insert(id, result);
+        // Profile: tally meaningful evaluations of conditionals.
+        if op.is_conditional() && branches_hold {
+            let e = self.cond_stats.entry(id).or_insert((0, 0));
+            if result != 0 {
+                e.0 += 1;
+            }
+            e.1 += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_lang::Program;
+
+    fn exec(src: &str, inputs: &[(&str, i64)]) -> CdfgOutcome {
+        let g = hls_lang::lower::compile(&Program::parse(src).unwrap()).unwrap();
+        execute_cdfg(&g, inputs, &HashMap::new(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_interpreter_on_gcd() {
+        let src = "design gcd { input x, y; output g; var a = x; var b = y;
+            while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }";
+        for (x, y) in [(54, 24), (7, 13), (9, 9), (100, 1)] {
+            let cd = exec(src, &[("x", x), ("y", y)]);
+            let p = Program::parse(src).unwrap();
+            let it = hls_lang::interp::run(
+                &p,
+                &[("x", x), ("y", y)],
+                &Default::default(),
+                1_000_000,
+            )
+            .unwrap();
+            assert_eq!(cd.outputs["g"], it.outputs["g"], "gcd({x},{y})");
+        }
+    }
+
+    #[test]
+    fn profiles_loop_condition() {
+        let src = "design d { input n; output o; var i = 0;
+            while (i < n) { i = i + 1; } o = i; }";
+        let g = hls_lang::lower::compile(&Program::parse(src).unwrap()).unwrap();
+        let out = execute_cdfg(&g, &[("n", 9)], &HashMap::new(), 100_000).unwrap();
+        let cond = g.loops()[0].cond();
+        let (t, n) = out.cond_stats[&cond];
+        assert_eq!((t, n), (9, 10), "9 continues, 1 exit check");
+        let probs = profile_cdfg(&g, &[vec![("n", 9)]], &HashMap::new(), 100_000);
+        assert!((probs.get(cond) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_profile_counts_only_taken_paths() {
+        // The inner condition is evaluated every iteration; its profile
+        // reflects actual outcomes.
+        let src = "design d { input n; output acc; var i = 0; var s = 0;
+            while (i < n) { if (i > 2) { s = s + i; } i = i + 1; } acc = s; }";
+        let g = hls_lang::lower::compile(&Program::parse(src).unwrap()).unwrap();
+        let out = execute_cdfg(&g, &[("n", 6)], &HashMap::new(), 100_000).unwrap();
+        assert_eq!(out.outputs["acc"], 3 + 4 + 5);
+        // i > 2 true for i = 3, 4, 5 out of 6 evaluations.
+        let gt = g
+            .ops()
+            .iter()
+            .find(|o| o.kind() == OpKind::Gt)
+            .unwrap()
+            .id();
+        assert_eq!(out.cond_stats[&gt], (3, 6));
+    }
+
+    #[test]
+    fn memory_and_branch_effects() {
+        let src = "design d { input a; output o; mem M[4];
+            if (a > 0) { M[0] = a; } else { M[1] = a; } o = M[0] + M[1]; }";
+        let cd = exec(src, &[("a", 5)]);
+        assert_eq!(cd.mems["M"], vec![5, 0, 0, 0]);
+        assert_eq!(cd.outputs["o"], 5);
+        let cd = exec(src, &[("a", -3)]);
+        assert_eq!(cd.mems["M"], vec![0, -3, 0, 0]);
+        assert_eq!(cd.outputs["o"], -3);
+    }
+
+    #[test]
+    fn nested_loops_execute() {
+        let src = "design d { input n; output acc; var i = 0; var s = 0;
+            while (i < n) { var j = 0; while (j < i) { s = s + 1; j = j + 1; } i = i + 1; }
+            acc = s; }";
+        let cd = exec(src, &[("n", 5)]);
+        assert_eq!(cd.outputs["acc"], 10);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let src = "design d { output o; var i = 0; while (i < 1) { i = i * 1; } o = i; }";
+        let g = hls_lang::lower::compile(&Program::parse(src).unwrap()).unwrap();
+        let err = execute_cdfg(&g, &[], &HashMap::new(), 100).unwrap_err();
+        assert_eq!(err, ExecCdfgError::StepLimit);
+    }
+}

@@ -1,0 +1,361 @@
+//! Cycle-accurate STG simulation.
+
+use cdfg::{Cdfg, OpKind, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use stg::{OpInst, Stg, ValRef};
+
+/// Errors raised by STG simulation. Any of these indicates a scheduler
+/// bug (the STG is self-contained by construction) or a runaway design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An operand referenced an instance the registry does not hold.
+    MissingValue(String),
+    /// No outgoing transition matched the resolved condition values.
+    NoTransition(String),
+    /// The cycle limit was reached before STOP.
+    CycleLimit(u64),
+    /// An input value was not supplied.
+    MissingInput(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingValue(w) => write!(f, "registry miss: {w}"),
+            SimError::NoTransition(w) => write!(f, "no matching transition from {w}"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit {n} reached before STOP"),
+            SimError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of simulating one input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Final output values by name.
+    pub outputs: BTreeMap<String, Value>,
+    /// Final memory contents by name.
+    pub mems: HashMap<String, Vec<Value>>,
+    /// Clock cycles from start to STOP (STOP itself takes no cycle).
+    pub cycles: u64,
+}
+
+/// Cycle-accurate simulator for a scheduled STG.
+///
+/// # Example
+///
+/// ```
+/// use hls_lang::Program;
+/// use hls_resources::{Allocation, FuClass, Library};
+/// use wavesched::{schedule, Mode, SchedConfig};
+/// use hls_sim::StgSimulator;
+///
+/// let p = Program::parse("design d { input a; output o; o = a + 1; }")?;
+/// let g = hls_lang::lower::compile(&p)?;
+/// let r = schedule(
+///     &g,
+///     &Library::dac98(),
+///     &Allocation::new().with(FuClass::Incrementer, 1),
+///     &Default::default(),
+///     &SchedConfig::new(Mode::Speculative),
+/// )?;
+/// let sim = StgSimulator::new(&g, &r.stg);
+/// let out = sim.run(&[("a", 41)], &Default::default(), 1_000)?;
+/// assert_eq!(out.outputs["o"], 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct StgSimulator<'a> {
+    g: &'a Cdfg,
+    stg: &'a Stg,
+}
+
+impl<'a> StgSimulator<'a> {
+    /// Creates a simulator for `stg`, which must have been scheduled from
+    /// `g`.
+    pub fn new(g: &'a Cdfg, stg: &'a Stg) -> Self {
+        StgSimulator { g, stg }
+    }
+
+    /// Runs one input vector to STOP.
+    ///
+    /// `mem_init` maps memory names to initial contents (zero-extended to
+    /// the declared size; missing memories start zeroed).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(
+        &self,
+        inputs: &[(&str, Value)],
+        mem_init: &HashMap<String, Vec<Value>>,
+        cycle_limit: u64,
+    ) -> Result<SimOutcome, SimError> {
+        let input_by_name: HashMap<&str, Value> = inputs.iter().copied().collect();
+        let mut input_vals: Vec<Value> = Vec::new();
+        for (_, name) in self.g.inputs() {
+            let v = input_by_name
+                .get(name.as_str())
+                .copied()
+                .ok_or_else(|| SimError::MissingInput(name.clone()))?;
+            input_vals.push(v);
+        }
+        let mut mems: Vec<Vec<Value>> = self
+            .g
+            .mems()
+            .iter()
+            .map(|m| {
+                let mut cells = mem_init.get(m.name()).cloned().unwrap_or_default();
+                cells.resize(m.size(), 0);
+                cells.truncate(m.size());
+                cells
+            })
+            .collect();
+        let mut outputs: Vec<Value> = vec![0; self.g.outputs().len()];
+        let mut registry: HashMap<OpInst, Value> = HashMap::new();
+
+        let mut state = self.stg.start();
+        let mut cycles: u64 = 0;
+        while state != self.stg.stop() {
+            if cycles >= cycle_limit {
+                return Err(SimError::CycleLimit(cycle_limit));
+            }
+            cycles += 1;
+            let st = self.stg.state(state);
+            for op in &st.ops {
+                let mut vals = Vec::with_capacity(op.operands.len());
+                for o in &op.operands {
+                    vals.push(match o {
+                        ValRef::Const(v) => *v,
+                        ValRef::Input(i) => input_vals[i.index()],
+                        ValRef::Inst(inst) => *registry.get(inst).ok_or_else(|| {
+                            SimError::MissingValue(format!("{inst} in {state}"))
+                        })?,
+                    });
+                }
+                let kind = self.g.op(op.inst.op).kind();
+                let result = match kind {
+                    // Scheduled pass-throughs are register transfers of
+                    // their single resolved source.
+                    OpKind::Pass | OpKind::Select => vals[0],
+                    OpKind::MemRead(m) => {
+                        let mem = &mems[m.index()];
+                        let idx = vals[0].rem_euclid(mem.len() as Value) as usize;
+                        mem[idx]
+                    }
+                    OpKind::MemWrite(m) => {
+                        let mem = &mut mems[m.index()];
+                        let idx = vals[0].rem_euclid(mem.len() as Value) as usize;
+                        mem[idx] = vals[1];
+                        vals[1]
+                    }
+                    OpKind::Output(o) => {
+                        outputs[o.index()] = vals[0];
+                        vals[0]
+                    }
+                    k => k.eval(&vals, None),
+                };
+                registry.insert(op.inst.clone(), result);
+            }
+            // Select the transition whose condition combination matches.
+            let mut chosen = None;
+            'outer: for t in &st.transitions {
+                for (inst, want) in &t.when {
+                    let v = *registry.get(inst).ok_or_else(|| {
+                        SimError::MissingValue(format!("condition {inst} in {state}"))
+                    })?;
+                    if (v != 0) != *want {
+                        continue 'outer;
+                    }
+                }
+                chosen = Some(t);
+                break;
+            }
+            let t = chosen.ok_or_else(|| SimError::NoTransition(state.to_string()))?;
+            // Register transfers on the edge, applied atomically.
+            if !t.renames.is_empty() {
+                let moved: Vec<(OpInst, Option<Value>)> = t
+                    .renames
+                    .iter()
+                    .map(|(from, to)| (to.clone(), registry.get(from).copied()))
+                    .collect();
+                for (from, _) in &t.renames {
+                    registry.remove(from);
+                }
+                for (to, v) in moved {
+                    if let Some(v) = v {
+                        registry.insert(to, v);
+                    }
+                }
+            }
+            state = t.target;
+        }
+
+        Ok(SimOutcome {
+            outputs: self
+                .g
+                .outputs()
+                .iter()
+                .map(|(id, name)| (name.clone(), outputs[id.index()]))
+                .collect(),
+            mems: self
+                .g
+                .mems()
+                .iter()
+                .map(|m| (m.name().to_string(), mems[m.id().index()].clone()))
+                .collect(),
+            cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdfg::analysis::BranchProbs;
+    use hls_lang::Program;
+    use hls_resources::{Allocation, FuClass, Library};
+    use wavesched::{schedule, Mode, SchedConfig};
+
+    fn run_design(
+        src: &str,
+        mode: Mode,
+        alloc: Allocation,
+        inputs: &[(&str, i64)],
+    ) -> SimOutcome {
+        let p = Program::parse(src).unwrap();
+        let g = hls_lang::lower::compile(&p).unwrap();
+        let r = schedule(
+            &g,
+            &Library::dac98(),
+            &alloc,
+            &BranchProbs::new(),
+            &SchedConfig::new(mode),
+        )
+        .unwrap();
+        StgSimulator::new(&g, &r.stg)
+            .run(inputs, &HashMap::new(), 100_000)
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_computes() {
+        let out = run_design(
+            "design d { input a, b; output s, p; s = a + b; p = (a - b) * 2; }",
+            Mode::Speculative,
+            Allocation::new()
+                .with(FuClass::Adder, 1)
+                .with(FuClass::Subtracter, 1)
+                .with(FuClass::Multiplier, 1),
+            &[("a", 9), ("b", 5)],
+        );
+        assert_eq!(out.outputs["s"], 14);
+        assert_eq!(out.outputs["p"], 8);
+        assert!(out.cycles >= 2, "multiply takes two cycles");
+    }
+
+    #[test]
+    fn gcd_all_modes_agree_with_interpreter() {
+        let src = "design gcd { input x, y; output g; var a = x; var b = y;
+            while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }";
+        let alloc = || {
+            Allocation::new()
+                .with(FuClass::Subtracter, 2)
+                .with(FuClass::Comparator, 1)
+                .with(FuClass::EqComparator, 2)
+        };
+        for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
+            for (x, y, want) in [(54, 24, 6), (7, 13, 1), (9, 9, 9), (1, 8, 1)] {
+                let out = run_design(src, mode, alloc(), &[("x", x), ("y", y)]);
+                assert_eq!(out.outputs["g"], want, "{mode}: gcd({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_is_faster_on_loops() {
+        let src = "design d { input n; output o; var i = 0;
+            while (i < n) { i = i + 1; } o = i; }";
+        let alloc = || {
+            Allocation::new()
+                .with(FuClass::Incrementer, 1)
+                .with(FuClass::Comparator, 1)
+        };
+        let ns = run_design(src, Mode::NonSpeculative, alloc(), &[("n", 20)]);
+        let sp = run_design(src, Mode::Speculative, alloc(), &[("n", 20)]);
+        assert_eq!(ns.outputs["o"], 20);
+        assert_eq!(sp.outputs["o"], 20);
+        assert!(
+            sp.cycles < ns.cycles,
+            "speculation pipelines the loop: {} vs {}",
+            sp.cycles,
+            ns.cycles
+        );
+        // Steady state reaches one iteration per cycle (plus constant
+        // fill/drain), versus ≥ 2 for the serial schedule.
+        assert!(sp.cycles <= 20 + 4, "~1 cycle per iteration, got {}", sp.cycles);
+        assert!(ns.cycles >= 2 * 20, "serial schedule pays the dependence");
+    }
+
+    #[test]
+    fn memory_designs_simulate() {
+        let src = "design d { input n; output sum; mem A[8];
+            var i = 0; var s = 0;
+            while (i < n) { s = s + A[i]; i = i + 1; } sum = s; }";
+        let p = Program::parse(src).unwrap();
+        let g = hls_lang::lower::compile(&p).unwrap();
+        let r = schedule(
+            &g,
+            &Library::dac98(),
+            &Allocation::new()
+                .with(FuClass::Adder, 1)
+                .with(FuClass::Incrementer, 1)
+                .with(FuClass::Comparator, 1),
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        let mut init = HashMap::new();
+        init.insert("A".to_string(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let out = StgSimulator::new(&g, &r.stg)
+            .run(&[("n", 5)], &init, 100_000)
+            .unwrap();
+        assert_eq!(out.outputs["sum"], 15);
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let out = run_design(
+            "design d { input a; output o; mem M[4]; M[1] = a * 2; o = M[1] + 1; }",
+            Mode::Speculative,
+            Allocation::new()
+                .with(FuClass::Multiplier, 1)
+                .with(FuClass::Adder, 1)
+                .with(FuClass::Incrementer, 1),
+            &[("a", 21)],
+        );
+        assert_eq!(out.outputs["o"], 43);
+        assert_eq!(out.mems["M"], vec![0, 42, 0, 0]);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let p = Program::parse("design d { input a; output o; o = a + 1; }").unwrap();
+        let g = hls_lang::lower::compile(&p).unwrap();
+        let r = schedule(
+            &g,
+            &Library::dac98(),
+            &Allocation::new().with(FuClass::Incrementer, 1),
+            &BranchProbs::new(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        let err = StgSimulator::new(&g, &r.stg)
+            .run(&[], &HashMap::new(), 100)
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingInput("a".into()));
+    }
+}

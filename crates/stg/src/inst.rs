@@ -1,0 +1,159 @@
+//! Operation instances and operand references.
+
+use cdfg::{InputId, OpId, Value};
+use std::fmt;
+
+/// Iteration indices of the enclosing loops, outermost first — the
+/// indexing scheme of Wavesched used by the paper to distinguish `++1_0`
+/// from `++1_1`. Operations outside all loops have an empty vector.
+pub type IterVec = Vec<u32>;
+
+/// One dynamic instance of a CDFG operation: the operation, the iteration
+/// indices of its enclosing loops, and a *version* discriminator.
+///
+/// Versions distinguish multiple speculative executions of the same
+/// instance with different operand choices — the paper's `op7′` and
+/// `op7″` of Example 6, which both realize `op7` under different
+/// speculation conditions. Version 0 is the common, single-version case.
+///
+/// # Example
+///
+/// ```
+/// use stg::OpInst;
+/// use cdfg::OpId;
+/// let i = OpInst::new(OpId::new(3), vec![2]);
+/// assert_eq!(i.to_string(), "op3_2");
+/// assert_eq!(i.shifted(-1).iter, vec![1]);
+/// assert_eq!(i.with_version(2).to_string(), "op3_2'v2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpInst {
+    /// The CDFG operation.
+    pub op: OpId,
+    /// Iteration indices, outermost loop first.
+    pub iter: IterVec,
+    /// Version discriminator for multiple operand-variant executions of
+    /// the same instance (0 = primary).
+    pub version: u32,
+}
+
+impl OpInst {
+    /// Creates a version-0 instance.
+    pub fn new(op: OpId, iter: IterVec) -> Self {
+        OpInst {
+            op,
+            iter,
+            version: 0,
+        }
+    }
+
+    /// A version-0 instance outside all loops.
+    pub fn root(op: OpId) -> Self {
+        OpInst {
+            op,
+            iter: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// Returns the same instance with a different version.
+    pub fn with_version(&self, version: u32) -> Self {
+        OpInst {
+            op: self.op,
+            iter: self.iter.clone(),
+            version,
+        }
+    }
+
+    /// Returns this instance with the *outermost* iteration index shifted
+    /// by `delta` — the uniform relabeling applied when a new state folds
+    /// onto an equivalent earlier one (the map *M* of Example 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shift would take an index negative or the instance
+    /// has no loop indices.
+    pub fn shifted(&self, delta: i64) -> Self {
+        let mut iter = self.iter.clone();
+        let first = iter.first_mut().expect("shifted() requires loop indices");
+        let v = i64::from(*first) + delta;
+        assert!(v >= 0, "iteration index underflow");
+        *first = v as u32;
+        OpInst {
+            op: self.op,
+            iter,
+            version: self.version,
+        }
+    }
+}
+
+impl fmt::Display for OpInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        for i in &self.iter {
+            write!(f, "_{i}")?;
+        }
+        if self.version > 0 {
+            write!(f, "'v{}", self.version)?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a scheduled operation's operand value comes from at run time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValRef {
+    /// A compile-time constant.
+    Const(Value),
+    /// A primary input (stable for the whole execution).
+    Input(InputId),
+    /// The result of an operation instance, read from the value registry
+    /// (written either in an earlier state or earlier in the same state
+    /// when chained).
+    Inst(OpInst),
+}
+
+impl fmt::Display for ValRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValRef::Const(v) => write!(f, "#{v}"),
+            ValRef::Input(i) => write!(f, "{i}"),
+            ValRef::Inst(inst) => write!(f, "{inst}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let i = OpInst::new(OpId::new(7), vec![0, 3]);
+        assert_eq!(i.to_string(), "op7_0_3");
+        assert_eq!(OpInst::root(OpId::new(1)).to_string(), "op1");
+    }
+
+    #[test]
+    fn shifted_moves_outermost_index() {
+        let i = OpInst::new(OpId::new(0), vec![4, 2]);
+        assert_eq!(i.shifted(-3).iter, vec![1, 2]);
+        assert_eq!(i.shifted(1).iter, vec![5, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn shifted_rejects_negative() {
+        OpInst::new(OpId::new(0), vec![0]).shifted(-1);
+    }
+
+    #[test]
+    fn valref_display() {
+        assert_eq!(ValRef::Const(-2).to_string(), "#-2");
+        assert_eq!(ValRef::Input(InputId::new(1)).to_string(), "in1");
+        assert_eq!(
+            ValRef::Inst(OpInst::new(OpId::new(2), vec![1])).to_string(),
+            "op2_1"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Static dataflow validation of scheduled STGs.
+//!
+//! A scheduled STG is self-contained: every operand an operation reads
+//! must have been written — in an earlier state on every path that can
+//! reach the reader, in the same state earlier in issue order (chaining),
+//! or transferred in under a fold edge's renames. The cycle-accurate
+//! simulator checks this dynamically for the paths a trace takes;
+//! [`validate_dataflow`] checks it statically for **all** paths by a
+//! forward may-not-be-defined dataflow analysis, and is the tool that
+//! catches scheduler rename/fold bugs on paths no test trace happens to
+//! exercise.
+
+use crate::{OpInst, Stg, ValRef};
+use std::collections::BTreeSet;
+
+/// A static dataflow violation: on some path into `state`, operation
+/// `reader` may read `missing` before any producer wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowError {
+    /// The state whose operation reads too early.
+    pub state: crate::StateId,
+    /// The reading operation instance (or `None` for a transition's
+    /// condition lookup).
+    pub reader: Option<OpInst>,
+    /// The operand instance that may be undefined.
+    pub missing: OpInst,
+}
+
+impl std::fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reader {
+            Some(r) => write!(
+                f,
+                "{}: {r} may read {} before it is defined",
+                self.state, self.missing
+            ),
+            None => write!(
+                f,
+                "{}: transition condition {} may be undefined",
+                self.state, self.missing
+            ),
+        }
+    }
+}
+
+/// Checks that every operand read and every transition condition is
+/// defined on every path, under an *intersection* (must-be-defined)
+/// forward analysis seeded empty at the start state.
+///
+/// # Errors
+///
+/// Returns every violation found (empty ⇔ the STG is dataflow-sound).
+pub fn validate_dataflow(stg: &Stg) -> Result<(), Vec<DataflowError>> {
+    let n = stg.states().len();
+    // must_in[s]: instances guaranteed defined on entry to s. `None`
+    // marks "not yet computed" (top), so the first visit initializes.
+    let mut must_in: Vec<Option<BTreeSet<OpInst>>> = vec![None; n];
+    must_in[stg.start().index()] = Some(BTreeSet::new());
+    let mut work = vec![stg.start()];
+    while let Some(sid) = work.pop() {
+        let Some(inn) = must_in[sid.index()].clone() else {
+            continue;
+        };
+        let st = stg.state(sid);
+        let mut defined = inn;
+        for op in &st.ops {
+            defined.insert(op.inst.clone());
+        }
+        for t in &st.transitions {
+            // Apply the edge's renames to the defined set.
+            let mut out = defined.clone();
+            for (from, _) in &t.renames {
+                out.remove(from);
+            }
+            for (from, to) in &t.renames {
+                if defined.contains(from) {
+                    out.insert(to.clone());
+                }
+            }
+            let slot = &mut must_in[t.target.index()];
+            let updated = match slot {
+                None => {
+                    *slot = Some(out);
+                    true
+                }
+                Some(prev) => {
+                    let met: BTreeSet<OpInst> = prev.intersection(&out).cloned().collect();
+                    if &met != prev {
+                        *slot = Some(met);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if updated {
+                work.push(t.target);
+            }
+        }
+    }
+
+    // Check reads against the fixpoint.
+    let mut errors = Vec::new();
+    for sid in stg.reachable() {
+        let st = stg.state(sid);
+        let mut defined = must_in[sid.index()].clone().unwrap_or_default();
+        for op in &st.ops {
+            for o in &op.operands {
+                if let ValRef::Inst(inst) = o {
+                    if !defined.contains(inst) {
+                        errors.push(DataflowError {
+                            state: sid,
+                            reader: Some(op.inst.clone()),
+                            missing: inst.clone(),
+                        });
+                    }
+                }
+            }
+            defined.insert(op.inst.clone());
+        }
+        for t in &st.transitions {
+            for (inst, _) in &t.when {
+                if !defined.contains(inst) {
+                    errors.push(DataflowError {
+                        state: sid,
+                        reader: None,
+                        missing: inst.clone(),
+                    });
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScheduledOp, Transition};
+    use cdfg::OpId;
+
+    fn sop(op: u32, iter: Vec<u32>, operands: Vec<ValRef>) -> ScheduledOp {
+        ScheduledOp {
+            inst: OpInst::new(OpId::new(op), iter),
+            operands,
+            latency: 1,
+            guard_str: "1".into(),
+        }
+    }
+
+    fn edge(target: crate::StateId) -> Transition {
+        Transition {
+            when: vec![],
+            target,
+            renames: vec![],
+        }
+    }
+
+    #[test]
+    fn chained_same_state_read_is_sound() {
+        let mut g = Stg::new("t");
+        let start = g.start();
+        let stop = g.stop();
+        g.state_mut(start).ops.push(sop(0, vec![], vec![]));
+        g.state_mut(start).ops.push(sop(
+            1,
+            vec![],
+            vec![ValRef::Inst(OpInst::root(OpId::new(0)))],
+        ));
+        g.state_mut(start).transitions.push(edge(stop));
+        assert_eq!(validate_dataflow(&g), Ok(()));
+    }
+
+    #[test]
+    fn read_before_write_is_reported() {
+        let mut g = Stg::new("t");
+        let start = g.start();
+        let stop = g.stop();
+        g.state_mut(start).ops.push(sop(
+            1,
+            vec![],
+            vec![ValRef::Inst(OpInst::root(OpId::new(0)))],
+        ));
+        g.state_mut(start).transitions.push(edge(stop));
+        let errs = validate_dataflow(&g).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].missing, OpInst::root(OpId::new(0)));
+    }
+
+    #[test]
+    fn renames_carry_definitions_across_folds() {
+        // start defines op0_1; the self-loop renames op0_1 → op0_0 and a
+        // second state reads op0_0.
+        let mut g = Stg::new("t");
+        let start = g.start();
+        let s1 = g.add_state();
+        let stop = g.stop();
+        g.state_mut(start).ops.push(sop(0, vec![1], vec![]));
+        g.state_mut(start).transitions.push(Transition {
+            when: vec![],
+            target: s1,
+            renames: vec![(
+                OpInst::new(OpId::new(0), vec![1]),
+                OpInst::new(OpId::new(0), vec![0]),
+            )],
+        });
+        g.state_mut(s1).ops.push(sop(
+            2,
+            vec![],
+            vec![ValRef::Inst(OpInst::new(OpId::new(0), vec![0]))],
+        ));
+        g.state_mut(s1).transitions.push(edge(stop));
+        assert_eq!(validate_dataflow(&g), Ok(()));
+        // Without the rename the read is a violation.
+        g.state_mut(start).transitions[0].renames.clear();
+        assert!(validate_dataflow(&g).is_err());
+    }
+
+    #[test]
+    fn must_analysis_intersects_over_paths() {
+        // Two paths into s2; only one defines op0 — reading it in s2 is a
+        // violation.
+        let mut g = Stg::new("t");
+        let start = g.start();
+        let a = g.add_state();
+        let b = g.add_state();
+        let s2 = g.add_state();
+        let stop = g.stop();
+        let c = OpInst::root(OpId::new(9));
+        g.state_mut(start).ops.push(sop(9, vec![], vec![]));
+        g.state_mut(start).transitions.push(Transition {
+            when: vec![(c.clone(), true)],
+            target: a,
+            renames: vec![],
+        });
+        g.state_mut(start).transitions.push(Transition {
+            when: vec![(c, false)],
+            target: b,
+            renames: vec![],
+        });
+        g.state_mut(a).ops.push(sop(0, vec![], vec![]));
+        g.state_mut(a).transitions.push(edge(s2));
+        g.state_mut(b).transitions.push(edge(s2));
+        g.state_mut(s2).ops.push(sop(
+            1,
+            vec![],
+            vec![ValRef::Inst(OpInst::root(OpId::new(0)))],
+        ));
+        g.state_mut(s2).transitions.push(edge(stop));
+        let errs = validate_dataflow(&g).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+    }
+}

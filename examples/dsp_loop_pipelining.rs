@@ -1,0 +1,40 @@
+//! A DSP-style clip-and-accumulate loop (memory in, memory out): shows
+//! speculation pipelining a memory-bound loop with nested conditionals,
+//! and the RTL area the schedule binds to.
+//!
+//! Run with: `cargo run --release -p spec-bench --example dsp_loop_pipelining`
+
+use hls_sim::{measure, profile};
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+fn main() {
+    let w = workloads::dsp_clip();
+    let vectors = w.vectors(20);
+    let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
+    let probs = profile(&w.cdfg, &vectors, &mem);
+
+    for mode in [Mode::NonSpeculative, Mode::Speculative] {
+        let mut cfg = SchedConfig::new(mode);
+        cfg.max_spec_depth = w.spec_depth;
+        let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
+            .expect("dsp_clip schedules");
+        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+        let d = rtl_synth::synthesize(&w.cdfg, &r.stg);
+        let a = rtl_synth::area(&d, &w.library);
+        println!("=== {mode} ===");
+        println!(
+            "E.N.C. {:.1}  #states {}  best {}  worst {}",
+            m.mean_cycles,
+            r.stg.working_state_count(),
+            m.best_cycles,
+            m.worst_cycles
+        );
+        println!(
+            "RTL: {} registers, {} mux inputs, area {:.0} GE\n",
+            d.registers,
+            d.mux_inputs,
+            a.total()
+        );
+    }
+}

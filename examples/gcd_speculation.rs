@@ -1,0 +1,35 @@
+//! The paper's GCD design (Fig. 13) scheduled three ways — Wavesched,
+//! single-path speculation, and Wavesched-spec — with the resulting STGs
+//! printed and their measured expected cycle counts compared.
+//!
+//! Run with: `cargo run --release -p spec-bench --example gcd_speculation`
+
+use hls_sim::{measure, profile};
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+fn main() {
+    let w = workloads::gcd();
+    let vectors = w.vectors(40);
+    let mem: HashMap<String, Vec<i64>> = HashMap::new();
+    let probs = profile(&w.cdfg, &vectors, &mem);
+    println!("profiled loop-continue probability: {:.3}\n", probs.get(w.cdfg.loops()[0].cond()));
+
+    for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
+        let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &SchedConfig::new(mode))
+            .expect("GCD schedules");
+        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000);
+        println!("=== {mode} ===");
+        println!(
+            "E.N.C. {:.1}   #states {}   best {}   worst {}   (verified on {} traces)",
+            m.mean_cycles,
+            r.stg.working_state_count(),
+            m.best_cycles,
+            m.worst_cycles,
+            m.runs
+        );
+        if mode == Mode::Speculative {
+            println!("\nspeculative STG:\n{}", stg::render_text(&r.stg, &w.cdfg));
+        }
+    }
+}

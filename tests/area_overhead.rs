@@ -1,0 +1,51 @@
+//! The Sec. 5 area experiment: the speculative GCD schedule costs a
+//! small positive amount of extra RTL area (the paper reports +3.1%
+//! after MSU technology mapping).
+
+use wavesched::{schedule, Mode, SchedConfig};
+
+#[test]
+fn gcd_area_overhead_is_small() {
+    let w = workloads::gcd();
+    let mut totals = Vec::new();
+    for mode in [Mode::NonSpeculative, Mode::Speculative] {
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &w.allocation,
+            &Default::default(),
+            &SchedConfig::new(mode),
+        )
+        .unwrap();
+        let d = rtl_synth::synthesize(&w.cdfg, &r.stg);
+        let a = rtl_synth::area(&d, &w.library);
+        assert!(a.total() > 0.0);
+        totals.push(a.total());
+    }
+    let overhead = (totals[1] - totals[0]) / totals[0];
+    assert!(
+        (-0.05..0.60).contains(&overhead),
+        "overhead {overhead:.3} outside the small-positive band"
+    );
+}
+
+#[test]
+fn datapath_grows_with_allocation() {
+    // Fig. 5(c)'s two-adder allocation must produce a larger datapath
+    // than the one-adder schedules when both adders are exercised.
+    let w = workloads::fig4();
+    let mut areas = Vec::new();
+    for adders in [1u32, 2] {
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &workloads::fig4_allocation(adders),
+            &Default::default(),
+            &SchedConfig::new(Mode::Speculative),
+        )
+        .unwrap();
+        let d = rtl_synth::synthesize(&w.cdfg, &r.stg);
+        areas.push(rtl_synth::area(&d, &w.library).fu_area);
+    }
+    assert!(areas[1] > areas[0], "second adder instantiated: {areas:?}");
+}

@@ -1,0 +1,65 @@
+//! Three-way functional equivalence on every workload: the AST
+//! interpreter, the direct CDFG executor, and the scheduled-STG
+//! simulator must produce identical outputs and final memories.
+
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+#[test]
+fn three_way_equivalence_on_all_workloads() {
+    for w in workloads::all().into_iter().chain([workloads::dsp_clip()]) {
+        let vectors = w.vectors(8);
+        let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
+        let probs = hls_sim::profile(&w.cdfg, &vectors, &mem);
+        let mut cfg = SchedConfig::new(Mode::Speculative);
+        cfg.max_spec_depth = w.spec_depth;
+        let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let sim = hls_sim::StgSimulator::new(&w.cdfg, &r.stg);
+        for v in &vectors {
+            let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
+            let image = hls_lang::MemImage {
+                contents: mem.clone(),
+            };
+            let ast = hls_lang::interp::run(&w.program, &inputs, &image, 10_000_000)
+                .unwrap_or_else(|e| panic!("{} interp: {e}", w.name));
+            let cdfg = hls_sim::execute_cdfg(&w.cdfg, &inputs, &mem, 10_000_000)
+                .unwrap_or_else(|e| panic!("{} cdfg exec: {e}", w.name));
+            let stg = sim
+                .run(&inputs, &mem, w.cycle_limit)
+                .unwrap_or_else(|e| panic!("{} stg sim: {e}", w.name));
+            assert_eq!(ast.outputs, cdfg.outputs, "{} on {v:?}", w.name);
+            assert_eq!(ast.outputs, stg.outputs, "{} on {v:?}", w.name);
+            assert_eq!(ast.mems, cdfg.mems, "{} on {v:?}", w.name);
+            assert_eq!(ast.mems, stg.mems, "{} on {v:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_in_every_mode_on_gcd_corner_cases() {
+    let w = workloads::gcd();
+    for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &w.allocation,
+            &Default::default(),
+            &SchedConfig::new(mode),
+        )
+        .unwrap();
+        let sim = hls_sim::StgSimulator::new(&w.cdfg, &r.stg);
+        for (x, y) in [(1, 1), (1, 2), (2, 1), (63, 62), (62, 2), (3, 60)] {
+            let inputs = [("x", x), ("y", y)];
+            let got = sim.run(&inputs, &HashMap::new(), 1_000_000).unwrap();
+            let want = hls_lang::interp::run(
+                &w.program,
+                &inputs,
+                &Default::default(),
+                10_000_000,
+            )
+            .unwrap();
+            assert_eq!(got.outputs, want.outputs, "{mode} gcd({x},{y})");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end pipeline test on GCD: profile → schedule (all modes) →
+//! simulate → verify against the golden model, plus STG structure
+//! checks.
+
+use hls_sim::{measure, profile, StgSimulator};
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+#[test]
+fn gcd_full_pipeline_all_modes() {
+    let w = workloads::gcd();
+    let vectors = w.vectors(30);
+    let mem: HashMap<String, Vec<i64>> = HashMap::new();
+    let probs = profile(&w.cdfg, &vectors, &mem);
+
+    let mut encs = Vec::new();
+    for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &w.allocation,
+            &probs,
+            &SchedConfig::new(mode),
+        )
+        .unwrap();
+        assert_eq!(r.stg.check(), Ok(()), "{mode}: structurally sound");
+        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000);
+        assert_eq!(m.mismatches, 0, "{mode}: functional equivalence");
+        encs.push((mode, m.mean_cycles, m.best_cycles, m.worst_cycles));
+    }
+    let ws = encs[0];
+    let single = encs[1];
+    let spec = encs[2];
+    // The paper's orderings: spec strictly beats the baseline on GCD;
+    // single-path sits between (never better than multi-path).
+    assert!(spec.1 < ws.1, "speculative E.N.C. {} < baseline {}", spec.1, ws.1);
+    assert!(spec.1 <= single.1 + 1e-9, "multi-path <= single-path");
+    assert!(spec.2 <= ws.2, "best-case never worse (paper Table 1)");
+    assert!(spec.3 <= ws.3, "worst-case never worse (paper Table 1)");
+}
+
+#[test]
+fn gcd_speculative_matches_reference_gcd_on_directed_cases() {
+    let w = workloads::gcd();
+    let r = schedule(
+        &w.cdfg,
+        &w.library,
+        &w.allocation,
+        &Default::default(),
+        &SchedConfig::new(Mode::Speculative),
+    )
+    .unwrap();
+    let sim = StgSimulator::new(&w.cdfg, &r.stg);
+    fn euclid(mut a: i64, mut b: i64) -> i64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    for (x, y) in [
+        (1, 1),
+        (1, 63),
+        (63, 1),
+        (48, 36),
+        (35, 21),
+        (62, 37),
+        (60, 48),
+        (17, 17),
+    ] {
+        let out = sim
+            .run(&[("x", x), ("y", y)], &HashMap::new(), 100_000)
+            .unwrap();
+        assert_eq!(out.outputs["g"], euclid(x, y), "gcd({x},{y})");
+    }
+}
+
+#[test]
+fn gcd_rename_edges_fold_the_loop() {
+    let w = workloads::gcd();
+    let r = schedule(
+        &w.cdfg,
+        &w.library,
+        &w.allocation,
+        &Default::default(),
+        &SchedConfig::new(Mode::Speculative),
+    )
+    .unwrap();
+    assert!(r.stats.folds > 0, "the while loop must fold into a steady state");
+    let has_renames = r
+        .stg
+        .reachable()
+        .iter()
+        .flat_map(|s| r.stg.state(*s).transitions.iter())
+        .any(|t| !t.renames.is_empty());
+    assert!(has_renames, "fold edges carry register relabelings (Example 10)");
+}

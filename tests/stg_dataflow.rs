@@ -1,0 +1,42 @@
+//! Static dataflow soundness of every generated schedule: on every path
+//! through every STG we produce, no operand or transition condition is
+//! read before it is defined (fold-edge renames included). This covers
+//! paths no simulation trace happens to take.
+
+use wavesched::{schedule, Mode, SchedConfig};
+
+#[test]
+fn every_workload_schedule_is_dataflow_sound() {
+    for w in workloads::all().into_iter().chain([workloads::dsp_clip(), workloads::fig4()]) {
+        for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
+            let mut cfg = SchedConfig::new(mode);
+            cfg.max_spec_depth = w.spec_depth;
+            let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
+                .unwrap_or_else(|e| panic!("{} / {mode}: {e}", w.name));
+            if let Err(errs) = stg::validate_dataflow(&r.stg) {
+                panic!(
+                    "{} / {mode}: {} dataflow violations, first: {}",
+                    w.name,
+                    errs.len(),
+                    errs[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig13_gcd_schedule_is_dataflow_sound() {
+    let (g, alloc) = workloads::gcd_fig13();
+    for mode in [Mode::NonSpeculative, Mode::Speculative] {
+        let r = schedule(
+            &g,
+            &hls_resources::Library::dac98(),
+            &alloc,
+            &Default::default(),
+            &SchedConfig::new(mode),
+        )
+        .unwrap();
+        assert_eq!(stg::validate_dataflow(&r.stg), Ok(()), "{mode}");
+    }
+}
