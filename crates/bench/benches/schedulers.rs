@@ -1,57 +1,55 @@
 //! Scheduler-throughput benches: time to produce the Table-1 schedules
 //! (the paper's tool ran "within seconds"; these quantify ours). One
 //! bench per (design, mode) pair used by Table 1 and Figs. 5–7.
+//!
+//! Run with `cargo bench --bench schedulers`; results land in
+//! `target/spec-bench/BENCH_schedulers.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use spec_support::bench::{black_box, Harness};
 use wavesched::{schedule, Mode, SchedConfig};
 
-fn bench_table1_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn bench_table1_schedulers(h: &mut Harness) {
     for w in workloads::all() {
         for mode in [Mode::NonSpeculative, Mode::Speculative] {
             let mut cfg = SchedConfig::new(mode);
             cfg.max_spec_depth = w.spec_depth;
-            group.bench_function(format!("{}/{mode}", w.name), |b| {
-                b.iter(|| {
-                    let r = schedule(
-                        black_box(&w.cdfg),
-                        &w.library,
-                        &w.allocation,
-                        &Default::default(),
-                        &cfg,
-                    )
-                    .expect("schedules");
-                    black_box(r.stg.working_state_count())
-                })
+            h.bench_n(&format!("table1/{}/{mode}", w.name), 10, || {
+                let r = schedule(
+                    black_box(&w.cdfg),
+                    &w.library,
+                    &w.allocation,
+                    &Default::default(),
+                    &cfg,
+                )
+                .expect("schedules");
+                black_box(r.stg.working_state_count())
             });
         }
     }
-    group.finish();
 }
 
-fn bench_fig5_schedules(c: &mut Criterion) {
+fn bench_fig5_schedules(h: &mut Harness) {
     let w = workloads::fig4();
-    let mut group = c.benchmark_group("fig5");
     for (tag, adders) in [("one_adder", 1u32), ("two_adders", 2)] {
-        group.bench_function(tag, |b| {
-            b.iter(|| {
-                schedule(
-                    black_box(&w.cdfg),
-                    &w.library,
-                    &workloads::fig4_allocation(adders),
-                    &Default::default(),
-                    &SchedConfig::new(Mode::Speculative),
-                )
-                .expect("schedules")
-                .stats
-                .issues
-            })
+        let allocation = workloads::fig4_allocation(adders);
+        h.bench(&format!("fig5/{tag}"), || {
+            schedule(
+                black_box(&w.cdfg),
+                &w.library,
+                &allocation,
+                &Default::default(),
+                &SchedConfig::new(Mode::Speculative),
+            )
+            .expect("schedules")
+            .stats
+            .issues
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_table1_schedulers, bench_fig5_schedules);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("schedulers");
+    bench_table1_schedulers(&mut h);
+    bench_fig5_schedules(&mut h);
+    h.finish().expect("bench JSON written");
+}

@@ -1,13 +1,15 @@
 //! Measurement-substrate benches: cycle-accurate STG simulation, the
 //! behavioral golden model, and the analytic Markov solver — the pieces
 //! every Table-1 number flows through.
+//!
+//! Run with `cargo bench --bench simulation`; results land in
+//! `target/spec-bench/BENCH_simulation.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spec_support::bench::{black_box, Harness};
 use std::collections::HashMap;
-use std::hint::black_box;
 use wavesched::{schedule, Mode, SchedConfig};
 
-fn bench_stg_simulation(c: &mut Criterion) {
+fn bench_stg_simulation(h: &mut Harness) {
     let w = workloads::gcd();
     let r = schedule(
         &w.cdfg,
@@ -19,49 +21,54 @@ fn bench_stg_simulation(c: &mut Criterion) {
     .expect("schedules");
     let sim = hls_sim::StgSimulator::new(&w.cdfg, &r.stg);
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
-    c.bench_function("sim/gcd_spec_run", |b| {
-        b.iter(|| {
-            sim.run(black_box(&[("x", 48), ("y", 36)]), &mem, 100_000)
-                .expect("simulates")
-                .cycles
-        })
+    h.bench("sim/gcd_spec_run", || {
+        sim.run(black_box(&[("x", 48), ("y", 36)]), &mem, 100_000)
+            .expect("simulates")
+            .cycles
     });
 }
 
-fn bench_golden_models(c: &mut Criterion) {
+fn bench_golden_models(h: &mut Harness) {
     let w = workloads::gcd();
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
-    c.bench_function("sim/gcd_interp_run", |b| {
-        b.iter(|| {
-            hls_lang::interp::run(
-                black_box(&w.program),
-                &[("x", 48), ("y", 36)],
-                &Default::default(),
-                1_000_000,
-            )
+    h.bench("sim/gcd_interp_run", || {
+        hls_lang::interp::run(
+            black_box(&w.program),
+            &[("x", 48), ("y", 36)],
+            &Default::default(),
+            1_000_000,
+        )
+        .expect("runs")
+        .steps
+    });
+    h.bench("sim/gcd_cdfg_exec", || {
+        hls_sim::execute_cdfg(black_box(&w.cdfg), &[("x", 48), ("y", 36)], &mem, 1_000_000)
             .expect("runs")
             .steps
-        })
-    });
-    c.bench_function("sim/gcd_cdfg_exec", |b| {
-        b.iter(|| {
-            hls_sim::execute_cdfg(black_box(&w.cdfg), &[("x", 48), ("y", 36)], &mem, 1_000_000)
-                .expect("runs")
-                .steps
-        })
     });
 }
 
-fn bench_markov(c: &mut Criterion) {
+fn bench_markov(h: &mut Harness) {
     let w = workloads::test1();
     let mut cfg = SchedConfig::new(Mode::Speculative);
     cfg.max_spec_depth = w.spec_depth;
-    let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
-        .expect("schedules");
-    c.bench_function("sim/test1_markov_enc", |b| {
-        b.iter(|| hls_sim::markov::expected_cycles(black_box(&r.stg), &Default::default()))
+    let r = schedule(
+        &w.cdfg,
+        &w.library,
+        &w.allocation,
+        &Default::default(),
+        &cfg,
+    )
+    .expect("schedules");
+    h.bench("sim/test1_markov_enc", || {
+        hls_sim::markov::expected_cycles(black_box(&r.stg), &Default::default())
     });
 }
 
-criterion_group!(benches, bench_stg_simulation, bench_golden_models, bench_markov);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("simulation");
+    bench_stg_simulation(&mut h);
+    bench_golden_models(&mut h);
+    bench_markov(&mut h);
+    h.finish().expect("bench JSON written");
+}

@@ -1,58 +1,61 @@
 //! Substrate micro-benches: the guard BDD algebra, the frontend
 //! (parse + lower), and the criticality analysis — the inner loops of
 //! the scheduling engine.
+//!
+//! Run with `cargo bench --bench substrates`; results land in
+//! `target/spec-bench/BENCH_substrates.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use guards::{BddManager, Cond};
-use std::hint::black_box;
+use spec_support::bench::{black_box, Harness};
 
-fn bench_bdd(c: &mut Criterion) {
-    c.bench_function("guards/chain_conjunction_16", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new();
-            let mut acc = guards::Guard::TRUE;
-            for i in 0..16u32 {
-                let l = m.literal(Cond::new(i), i % 3 != 0);
-                acc = m.and(acc, l);
-            }
-            black_box(m.support(acc).len())
-        })
-    });
-    c.bench_function("guards/cofactor_resolution", |b| {
+fn bench_bdd(h: &mut Harness) {
+    h.bench("guards/chain_conjunction_16", || {
         let mut m = BddManager::new();
         let mut acc = guards::Guard::TRUE;
-        for i in 0..12u32 {
-            let l = m.literal(Cond::new(i), true);
+        for i in 0..16u32 {
+            let l = m.literal(Cond::new(i), i % 3 != 0);
             acc = m.and(acc, l);
         }
-        b.iter(|| {
-            let mut g = acc;
-            let mut mm = m.clone();
-            for i in 0..12u32 {
-                g = mm.cofactor(g, Cond::new(i), true);
-            }
-            black_box(g)
-        })
+        black_box(m.support(acc).len())
+    });
+    let mut m = BddManager::new();
+    let mut acc = guards::Guard::TRUE;
+    for i in 0..12u32 {
+        let l = m.literal(Cond::new(i), true);
+        acc = m.and(acc, l);
+    }
+    h.bench("guards/cofactor_resolution", || {
+        let mut g = acc;
+        let mut mm = m.clone();
+        for i in 0..12u32 {
+            g = mm.cofactor(g, Cond::new(i), true);
+        }
+        black_box(g)
     });
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend(h: &mut Harness) {
     let w = workloads::barcode();
-    c.bench_function("lang/parse_barcode", |b| {
-        b.iter(|| hls_lang::Program::parse(black_box(w.source)).expect("parses"))
+    h.bench("lang/parse_barcode", || {
+        hls_lang::Program::parse(black_box(w.source)).expect("parses")
     });
-    c.bench_function("lang/lower_barcode", |b| {
-        b.iter(|| hls_lang::lower::compile(black_box(&w.program)).expect("lowers"))
+    h.bench("lang/lower_barcode", || {
+        hls_lang::lower::compile(black_box(&w.program)).expect("lowers")
     });
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis(h: &mut Harness) {
     let w = workloads::barcode();
     let delay = w.library.delay_fn(&w.cdfg);
-    c.bench_function("cdfg/lambda_barcode", |b| {
-        b.iter(|| cdfg::analysis::lambda(black_box(&w.cdfg), &Default::default(), &delay))
+    h.bench("cdfg/lambda_barcode", || {
+        cdfg::analysis::lambda(black_box(&w.cdfg), &Default::default(), &delay)
     });
 }
 
-criterion_group!(benches, bench_bdd, bench_frontend, bench_analysis);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrates");
+    bench_bdd(&mut h);
+    bench_frontend(&mut h);
+    bench_analysis(&mut h);
+    h.finish().expect("bench JSON written");
+}

@@ -22,13 +22,23 @@ fn depth_ablation() {
     let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
     let probs = profile(&w.cdfg, &vectors, &mem);
     println!("Ablation 1 — speculation depth vs Test1 expected cycles\n");
-    println!("{:>6}  {:>8}  {:>8}  {:>7}", "depth", "E.N.C.", "#states", "issues");
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>7}",
+        "depth", "E.N.C.", "#states", "issues"
+    );
     for depth in [1usize, 2, 3, 4, 6, 9, 12] {
         let mut cfg = SchedConfig::new(Mode::Speculative);
         cfg.max_spec_depth = depth;
         match schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg) {
             Ok(r) => {
-                let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+                let m = measure(
+                    &w.cdfg,
+                    &r.stg,
+                    &vectors,
+                    &mem,
+                    Some(&w.program),
+                    w.cycle_limit,
+                );
                 println!(
                     "{depth:>6}  {:>8.1}  {:>8}  {:>7}",
                     m.mean_cycles,
@@ -55,7 +65,14 @@ fn version_ablation() {
         cfg.max_versions = cap;
         match schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg) {
             Ok(r) => {
-                let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+                let m = measure(
+                    &w.cdfg,
+                    &r.stg,
+                    &vectors,
+                    &mem,
+                    Some(&w.program),
+                    w.cycle_limit,
+                );
                 println!(
                     "{cap:>9}  {:>8.1}  {:>8}",
                     m.mean_cycles,

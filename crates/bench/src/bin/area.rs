@@ -9,7 +9,10 @@ fn main() {
     let w = workloads::gcd();
     println!("Sec. 5 area experiment — GCD RTL, gate equivalents\n");
     let mut totals = Vec::new();
-    for (tag, mode) in [("Wavesched", Mode::NonSpeculative), ("Wavesched-spec", Mode::Speculative)] {
+    for (tag, mode) in [
+        ("Wavesched", Mode::NonSpeculative),
+        ("Wavesched-spec", Mode::Speculative),
+    ] {
         let r = run_workload(&w, mode, 20);
         let d = rtl_synth::synthesize(&w.cdfg, &r.sched.stg);
         let a = rtl_synth::area(&d, &w.library);

@@ -29,11 +29,17 @@ fn main() {
         _ => {
             let mut cfg = SchedConfig::new(mode);
             cfg.max_spec_depth = w.spec_depth;
-            let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
-                .unwrap_or_else(|e| {
-                    eprintln!("scheduling failed: {e}");
-                    std::process::exit(1);
-                });
+            let r = schedule(
+                &w.cdfg,
+                &w.library,
+                &w.allocation,
+                &Default::default(),
+                &cfg,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("scheduling failed: {e}");
+                std::process::exit(1);
+            });
             print!("{}", r.stg.to_dot(&w.cdfg));
         }
     }

@@ -10,7 +10,10 @@ fn main() {
     let w = workloads::test1();
     println!("Fig. 2 — schedules for the Fig. 1 loop (Test1)\n");
     let mut per_iter = Vec::new();
-    for (tag, mode) in [("(a) Wavesched", Mode::NonSpeculative), ("(b) Wavesched-spec", Mode::Speculative)] {
+    for (tag, mode) in [
+        ("(a) Wavesched", Mode::NonSpeculative),
+        ("(b) Wavesched-spec", Mode::Speculative),
+    ] {
         let r = run_workload(&w, mode, 10);
         println!("=== {tag} ===");
         println!("{}", stg::render_text(&r.sched.stg, &w.cdfg));

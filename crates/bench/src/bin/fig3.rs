@@ -34,7 +34,10 @@ fn main() {
     let cycle_start = path.iter().position(|&s| s == sid).unwrap_or(0);
 
     println!("Fig. 3 — steady-state operation of the speculative Test1 schedule");
-    println!("(all-continue path; {} fill states, then the steady cycle)\n", cycle_start);
+    println!(
+        "(all-continue path; {} fill states, then the steady cycle)\n",
+        cycle_start
+    );
     println!("five consecutive steady-state cycles:");
     let cycle: Vec<_> = path[cycle_start..].to_vec();
     for i in 0..5 {

@@ -9,7 +9,7 @@
 //! the two-adder schedule (c) dominates both everywhere.
 
 use cdfg::analysis::BranchProbs;
-use rand::{Rng, SeedableRng};
+use spec_support::rng::{Rng, Xoshiro256StarStar};
 use std::collections::HashMap;
 use wavesched::{schedule, Mode, SchedConfig, ScheduleResult};
 
@@ -38,10 +38,10 @@ fn build(w: &workloads::Workload, adders: u32, p: f64) -> ScheduleResult {
 /// with P(b = 3) = p (so P(x = b+1 > 2) = p), e fixed.
 fn simulate(w: &workloads::Workload, stg: &stg::Stg, p: f64, runs: usize) -> f64 {
     let sim = hls_sim::StgSimulator::new(&w.cdfg, stg);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
     let mut total = 0u64;
     for _ in 0..runs {
-        let b = if rng.random_range(0.0..1.0) < p { 3 } else { 1 };
+        let b = if rng.chance(p) { 3 } else { 1 };
         let out = sim
             .run(&[("b", b), ("e", 5)], &HashMap::new(), 10_000)
             .expect("fig4 simulates");
@@ -61,7 +61,10 @@ fn main() {
 
     println!("Fig. 6 — expected cycles of the Fig. 5 schedules vs P(c1)");
     println!("(analytic Markov value, with simulated mean over 4000 Bernoulli runs in parens)\n");
-    println!("{:>5}  {:>16}  {:>16}  {:>16}", "P", "CCa (1add,pF)", "CCb (1add,pT)", "CCc (2add)");
+    println!(
+        "{:>5}  {:>16}  {:>16}  {:>16}",
+        "P", "CCa (1add,pF)", "CCb (1add,pT)", "CCc (2add)"
+    );
     let mut rows = Vec::new();
     for i in 0..=10 {
         let p = i as f64 / 10.0;
@@ -69,8 +72,8 @@ fn main() {
         probs.set(cond, p);
         let mut cells = Vec::new();
         for s in [&sched_a, &sched_b, &sched_c] {
-            let analytic = hls_sim::markov::expected_cycles(&s.stg, &probs)
-                .expect("fig4 STGs are acyclic");
+            let analytic =
+                hls_sim::markov::expected_cycles(&s.stg, &probs).expect("fig4 STGs are acyclic");
             let simulated = simulate(&w, &s.stg, p, 4000);
             cells.push((analytic, simulated));
         }
@@ -90,7 +93,10 @@ fn main() {
     println!();
     println!(
         "crossover: CCa(0)={:.2} < CCb(0)={:.2} and CCa(1)={:.2} > CCb(1)={:.2}",
-        at(0.0, 0), at(0.0, 1), at(1.0, 0), at(1.0, 1)
+        at(0.0, 0),
+        at(0.0, 1),
+        at(1.0, 0),
+        at(1.0, 1)
     );
     let dominated = rows
         .iter()

@@ -40,7 +40,10 @@ fn main() {
     println!("Fig. 7 — speculation along a single path (Fig. 4 CDFG, 1 adder, predict true)\n");
     println!("{}", stg::render_text(&single.stg, &w.cdfg));
     println!("Eq. 4 analogue — expected cycles vs P(c1):\n");
-    println!("{:>5}  {:>12}  {:>12}  {:>9}", "P", "CCb (multi)", "CCd (single)", "CCd ≥ CCb");
+    println!(
+        "{:>5}  {:>12}  {:>12}  {:>9}",
+        "P", "CCb (multi)", "CCd (single)", "CCd ≥ CCb"
+    );
     let mut all_dominated = true;
     for i in 0..=10 {
         let p = i as f64 / 10.0;

@@ -14,10 +14,7 @@ fn main() {
         Some("single") => Mode::SinglePath,
         _ => Mode::Speculative,
     };
-    let runs = args
-        .get(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10usize);
+    let runs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10usize);
     let w = workloads::all()
         .into_iter()
         .chain([workloads::fig4(), workloads::dsp_clip()])

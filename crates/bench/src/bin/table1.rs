@@ -21,7 +21,9 @@ fn main() {
         .unwrap_or(TRACE_RUNS);
 
     println!("Table 1 — E.N.C., #states, best- and worst-case cycles");
-    println!("(WS = Wavesched baseline, WS-spec = speculative; {runs} Gaussian traces per design)\n");
+    println!(
+        "(WS = Wavesched baseline, WS-spec = speculative; {runs} Gaussian traces per design)\n"
+    );
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -47,8 +49,16 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Circuit", "ENC(WS)", "ENC(spec)", "#st(WS)", "#st(spec)", "best(WS)",
-                "best(spec)", "worst(WS)", "worst(spec)", "speedup"
+                "Circuit",
+                "ENC(WS)",
+                "ENC(spec)",
+                "#st(WS)",
+                "#st(spec)",
+                "best(WS)",
+                "best(spec)",
+                "worst(WS)",
+                "worst(spec)",
+                "speedup"
             ],
             &rows
         )

@@ -230,8 +230,7 @@ pub fn lambda(g: &Cdfg, probs: &BranchProbs, delay: &dyn Fn(OpId) -> f64) -> Vec
 pub fn fanin_cone_sizes(g: &Cdfg) -> Vec<usize> {
     let order = intra_topo_order(g).expect("validated CDFG is acyclic over wire edges");
     let n = g.ops().len();
-    let mut cones: Vec<std::collections::HashSet<OpId>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut cones: Vec<std::collections::HashSet<OpId>> = vec![std::collections::HashSet::new(); n];
     for &id in &order {
         let op = g.op(id);
         let mut cone = std::collections::HashSet::new();
@@ -279,8 +278,7 @@ mod tests {
     fn topo_order_respects_wires() {
         let g = chain();
         let order = intra_topo_order(&g).unwrap();
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         for op in g.ops() {
             for p in op.ports() {
                 if let PortKind::Wire(s) = *p {

@@ -284,7 +284,10 @@ impl CdfgBuilder {
             "use mem_read/mem_write for memory operations"
         );
         assert!(
-            !matches!(kind, OpKind::Input(_) | OpKind::Output(_) | OpKind::Const(_)),
+            !matches!(
+                kind,
+                OpKind::Input(_) | OpKind::Output(_) | OpKind::Const(_)
+            ),
             "use input/output/constant for I/O and literals"
         );
         let ports: Vec<BSrc> = srcs.iter().map(|&s| self.check_src(s)).collect();
@@ -318,17 +321,8 @@ impl CdfgBuilder {
     /// Convenience: a select (multiplexer) computing
     /// `if cond != 0 { t } else { f }`.
     pub fn select(&mut self, cond: Src, t: Src, f: Src) -> OpId {
-        let ports = vec![
-            self.check_src(cond),
-            self.check_src(t),
-            self.check_src(f),
-        ];
-        let n = self
-            .ops
-            .iter()
-            .filter(|o| o.kind == OpKind::Select)
-            .count()
-            + 1;
+        let ports = vec![self.check_src(cond), self.check_src(t), self.check_src(f)];
+        let n = self.ops.iter().filter(|o| o.kind == OpKind::Select).count() + 1;
         self.push_op(OpKind::Select, format!("sel{n}"), ports)
     }
 
@@ -534,9 +528,7 @@ impl CdfgBuilder {
             self.ops[first.index()].carried_order_deps.push(carried);
             // Post-loop accesses must follow the ordering chain's value at
             // loop exit.
-            let tok = CarriedId(
-                u32::try_from(self.carried.len()).expect("too many carried vars"),
-            );
+            let tok = CarriedId(u32::try_from(self.carried.len()).expect("too many carried vars"));
             self.carried.push(CarriedSlot {
                 lp,
                 init,
@@ -588,7 +580,10 @@ impl CdfgBuilder {
 
     /// Opens the true branch of an `if` on `cond`.
     pub fn begin_if(&mut self, cond: OpId) {
-        assert!(cond.index() < self.ops.len(), "condition {cond} does not exist");
+        assert!(
+            cond.index() < self.ops.len(),
+            "condition {cond} does not exist"
+        );
         self.scopes.push(Scope::Branch {
             cond,
             polarity: true,
@@ -804,11 +799,7 @@ mod tests {
             .ctrl_deps()
             .iter()
             .any(|d| d.kind == CtrlKind::LoopContinue(lp.id()) && d.polarity));
-        let inc = g
-            .ops()
-            .iter()
-            .find(|o| o.kind() == OpKind::Inc)
-            .unwrap();
+        let inc = g.ops().iter().find(|o| o.kind() == OpKind::Inc).unwrap();
         assert!(inc
             .ctrl_deps()
             .iter()

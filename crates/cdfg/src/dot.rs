@@ -133,7 +133,10 @@ mod tests {
             assert!(dot.contains(&format!("n{}", op.id().index())));
         }
         assert!(dot.contains("style=dotted"), "carried edge rendered");
-        assert!(dot.contains("style=dashed, color=blue"), "ctrl dep rendered");
+        assert!(
+            dot.contains("style=dashed, color=blue"),
+            "ctrl dep rendered"
+        );
         assert!(dot.contains("diamond"), "comparison shaped as diamond");
         assert!(dot.ends_with("}\n"));
     }

@@ -287,7 +287,11 @@ impl fmt::Display for CdfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdfgError::DanglingOp(op) => write!(f, "port of {op} references a missing op"),
-            CdfgError::ArityMismatch { op, expected, found } => {
+            CdfgError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => {
                 write!(f, "{op} expects {expected} ports, found {found}")
             }
             CdfgError::InitInsideLoop { op, lp } => {
@@ -319,7 +323,10 @@ impl fmt::Display for CdfgError {
                 write!(f, "continue condition of {lp} is not a member of the loop")
             }
             CdfgError::CondNotConditional(lp) => {
-                write!(f, "continue condition of {lp} does not produce a truth value")
+                write!(
+                    f,
+                    "continue condition of {lp} does not produce a truth value"
+                )
             }
             CdfgError::CtrlFromNonCondition { op, cond } => {
                 write!(f, "{op} is control-dependent on non-conditional {cond}")

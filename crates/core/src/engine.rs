@@ -12,8 +12,8 @@ use cdfg::analysis::{self, BranchProbs};
 use cdfg::{Cdfg, LoopId, OpId, PortKind};
 use guards::{BddManager, CondProbs, Guard};
 use hls_resources::{classify, Allocation, Library};
-use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
 
 /// Statistics of one scheduling run.
 #[derive(Debug, Clone, Default)]
@@ -182,8 +182,11 @@ impl<'a> Engine<'a> {
                 self.gc(&mut bctx);
                 let t_gc = tg.elapsed();
                 if std::env::var_os("WAVESCHED_TRACE").is_some() {
-                    eprintln!("  branch: sweep={t_sw:?} gc={t_gc:?} avail={} cands={}",
-                        bctx.avail.len(), bctx.cands.len());
+                    eprintln!(
+                        "  branch: sweep={t_sw:?} gc={t_gc:?} avail={} cands={}",
+                        bctx.avail.len(),
+                        bctx.cands.len()
+                    );
                 }
                 self.stats.peak_ctx = self.stats.peak_ctx.max(bctx.avail.len());
                 let when: Vec<(OpInst, bool)> =
@@ -287,8 +290,14 @@ impl<'a> Engine<'a> {
             let Some((_, idx, start)) = best else { break };
             if std::env::var_os("WAVESCHED_TRACE").is_some() {
                 let c = &ctx.cands[idx];
-                eprintln!("issue {:?}@{:?} cands={} avail={} bdd={}",
-                    c.op, c.iter, ctx.cands.len(), ctx.avail.len(), self.mgr.node_count());
+                eprintln!(
+                    "issue {:?}@{:?} cands={} avail={} bdd={}",
+                    c.op,
+                    c.iter,
+                    ctx.cands.len(),
+                    ctx.avail.len(),
+                    self.mgr.node_count()
+                );
             }
             self.issue(sid, ctx, idx, start, &mut issued, &mut class_use);
         }
@@ -400,10 +409,7 @@ impl<'a> Engine<'a> {
             let class_str = class.to_string();
             let mut used = class_use.get(&class_str).copied().unwrap_or(0);
             if !s.pipelined {
-                used += ctx
-                    .fu_busy
-                    .get(&class_str)
-                    .map_or(0, |v| v.len() as u32);
+                used += ctx.fu_busy.get(&class_str).map_or(0, |v| v.len() as u32);
             }
             if !self.alloc.limit(class).allows(used) {
                 return None;
@@ -456,7 +462,10 @@ impl<'a> Engine<'a> {
         // overwrite cannot be observed.
         let version = ctx
             .avail
-            .range(Key::inst(cand.op, cand.iter.clone(), 0)..=Key::inst(cand.op, cand.iter.clone(), u32::MAX))
+            .range(
+                Key::inst(cand.op, cand.iter.clone(), 0)
+                    ..=Key::inst(cand.op, cand.iter.clone(), u32::MAX),
+            )
             .filter(|(k, _)| k.op == cand.op && k.iter == cand.iter)
             .map(|(k, _)| k.version + 1)
             .max()
@@ -533,7 +542,13 @@ impl<'a> Engine<'a> {
                         mgr: &mut self.mgr,
                         ct: &mut self.ct,
                     };
-                    let n = r.gen_candidates(ctx, op.id(), &iter, self.cfg.max_versions, self.cfg.max_spec_depth);
+                    let n = r.gen_candidates(
+                        ctx,
+                        op.id(),
+                        &iter,
+                        self.cfg.max_versions,
+                        self.cfg.max_spec_depth,
+                    );
                     if n > 0 {
                         if std::env::var_os("WAVESCHED_TRACE").is_some() {
                             eprintln!("sweep: +{n} for {:?}@{:?}", op.id(), iter);
@@ -557,8 +572,10 @@ impl<'a> Engine<'a> {
     /// two contexts ever fold.
     fn cap_lookahead(&mut self, ctx: &Ctx, domain: &mut BTreeMap<(LoopId, Iter), (u32, u32)>) {
         let mut oldest: BTreeMap<(LoopId, Iter), u32> = BTreeMap::new();
-        let note_guard = |g: Guard, mgr: &BddManager, ct: &CondTable,
-                              oldest: &mut BTreeMap<(LoopId, Iter), u32>| {
+        let note_guard = |g: Guard,
+                          mgr: &BddManager,
+                          ct: &CondTable,
+                          oldest: &mut BTreeMap<(LoopId, Iter), u32>| {
             for c in mgr.support(g) {
                 let (op, iter) = ct.inst_of(c).clone();
                 let path = self.g.op(op).loop_path();
@@ -654,9 +671,7 @@ impl<'a> Engine<'a> {
                 if d >= iter.len() {
                     break;
                 }
-                let e = dom
-                    .entry((l, iter[..d].to_vec()))
-                    .or_insert((u32::MAX, 0));
+                let e = dom.entry((l, iter[..d].to_vec())).or_insert((u32::MAX, 0));
                 e.0 = e.0.min(iter[d]);
                 e.1 = e.1.max(iter[d]);
             }
@@ -779,11 +794,24 @@ impl<'a> Engine<'a> {
                 eprintln!("GC DROPS op13@[1]!");
                 let domain = self.iter_domain(ctx);
                 eprintln!("  domain: {domain:?}");
-                eprintln!("  done(5,[2,0])={}", ctx.done.contains(&(OpId::new(5), vec![2, 0])));
-                let mut r = Res { g: self.g, tables: &self.tables, mgr: &mut self.mgr, ct: &mut self.ct };
+                eprintln!(
+                    "  done(5,[2,0])={}",
+                    ctx.done.contains(&(OpId::new(5), vec![2, 0]))
+                );
+                let mut r = Res {
+                    g: self.g,
+                    tables: &self.tables,
+                    mgr: &mut self.mgr,
+                    ct: &mut self.ct,
+                };
                 let cg = r.ctrl_guard(ctx, OpId::new(5), &vec![2, 0]);
                 eprintln!("  ctrl(5,[2,0])={cg}");
-                let pv = r.port_versions(ctx, &self.g.op(OpId::new(5)).ports()[1].clone(), OpId::new(5), &vec![2, 0]);
+                let pv = r.port_versions(
+                    ctx,
+                    &self.g.op(OpId::new(5)).ports()[1].clone(),
+                    OpId::new(5),
+                    &vec![2, 0],
+                );
                 eprintln!("  port2 versions: {pv:?}");
             }
         }
@@ -876,8 +904,7 @@ impl<'a> Engine<'a> {
         // domain moves past their iteration. Loop-continue resolutions
         // stay until the loop's bookkeeping is dropped (exit-view
         // enumeration may still consult them).
-        let loop_conds: BTreeSet<OpId> =
-            self.tables.loop_of_cond.keys().copied().collect();
+        let loop_conds: BTreeSet<OpId> = self.tables.loop_of_cond.keys().copied().collect();
         ctx.resolved.retain(|(op, iter), _| {
             if loop_conds.contains(op) {
                 return !below(*op, iter);
@@ -947,7 +974,12 @@ impl<'a> Engine<'a> {
         out
     }
 
-    fn part_rec(&mut self, mut ctx: Ctx, when: Vec<(Key, bool)>, out: &mut Vec<(Vec<(Key, bool)>, Ctx)>) {
+    fn part_rec(
+        &mut self,
+        mut ctx: Ctx,
+        when: Vec<(Key, bool)>,
+        out: &mut Vec<(Vec<(Key, bool)>, Ctx)>,
+    ) {
         let pos = ctx
             .pending_conds
             .iter()
@@ -1261,10 +1293,7 @@ mod tests {
                     .with(FuClass::Subtracter, 1)
                     .with(FuClass::Comparator, 1),
             );
-            assert!(
-                r.stg.best_case_cycles().is_some(),
-                "{mode}: STOP reachable"
-            );
+            assert!(r.stg.best_case_cycles().is_some(), "{mode}: STOP reachable");
         }
     }
 
@@ -1349,9 +1378,7 @@ mod tests {
     #[test]
     fn memory_port_serializes_accesses() {
         // Two reads of one single-ported memory occupy distinct states.
-        let g = compile(
-            "design d { input a; output o; mem M[4]; o = M[a] + M[a + 1]; }",
-        );
+        let g = compile("design d { input a; output o; mem M[4]; o = M[a] + M[a + 1]; }");
         let r = schedule(
             &g,
             &Library::dac98(),

@@ -82,7 +82,7 @@ mod ctx;
 mod engine;
 mod resolve;
 
-pub use engine::{schedule, ScheduleResult, SchedStats};
+pub use engine::{schedule, SchedStats, ScheduleResult};
 
 use std::fmt;
 

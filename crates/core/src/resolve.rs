@@ -66,7 +66,11 @@ impl Res<'_> {
     /// iterations known to have continued).
     pub fn lit(&mut self, ctx: &Ctx, inst: CondInst, value: bool) -> Guard {
         if let Some(&v) = ctx.resolved.get(&inst) {
-            return if v == value { Guard::TRUE } else { Guard::FALSE };
+            return if v == value {
+                Guard::TRUE
+            } else {
+                Guard::FALSE
+            };
         }
         if let Some(&l) = self.tables.loop_of_cond.get(&inst.0) {
             // A loop-continue condition below the floor is known true on
@@ -157,9 +161,10 @@ impl Res<'_> {
             _ => {
                 // Issued versions (real ops and pass-through copies).
                 let mut out = Vec::new();
-                for (k, info) in ctx.avail.range(
-                    Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX),
-                ) {
+                for (k, info) in ctx
+                    .avail
+                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
+                {
                     if k.op == op && &k.iter == iter && !info.guard.is_false() {
                         out.push((ValSrc::Key(k.clone()), info.guard));
                     }
@@ -354,8 +359,7 @@ impl Res<'_> {
                     self.lit(ctx, (cond, ci), false)
                 };
                 if !exit0.is_false() {
-                    for (i, gi) in self.inst_of(ctx, init, &base[..ilen.min(base.len())].to_vec())
-                    {
+                    for (i, gi) in self.inst_of(ctx, init, &base[..ilen.min(base.len())].to_vec()) {
                         let g = self.mgr.and(exit0, gi);
                         if !g.is_false() {
                             out.push((i, g));
@@ -581,22 +585,14 @@ impl Res<'_> {
                 }
                 let issued = ctx
                     .avail
-                    .range(
-                        Key::inst(op, iter.clone(), 0)
-                            ..=Key::inst(op, iter.clone(), u32::MAX),
-                    )
-                    .any(|(k, info)| {
-                        k.op == op && &k.iter == iter && info.operands == operands
-                    });
+                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
+                    .any(|(k, info)| k.op == op && &k.iter == iter && info.operands == operands);
                 if issued {
                     continue;
                 }
                 let live = ctx
                     .avail
-                    .range(
-                        Key::inst(op, iter.clone(), 0)
-                            ..=Key::inst(op, iter.clone(), u32::MAX),
-                    )
+                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
                     .count()
                     + ctx
                         .cands
@@ -868,9 +864,7 @@ mod tests {
         let has_key = versions
             .iter()
             .any(|(v, gd)| matches!(v, ValSrc::Key(k) if k.op == sum) && !gd.is_true());
-        let has_const = versions
-            .iter()
-            .any(|(v, _)| matches!(v, ValSrc::Const(0)));
+        let has_const = versions.iter().any(|(v, _)| matches!(v, ValSrc::Const(0)));
         assert!(has_key && has_const);
         // Each version's guard mentions the unscheduled steering cond.
         for (_, gd) in &versions {

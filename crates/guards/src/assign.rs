@@ -145,6 +145,9 @@ mod tests {
         let mut a: Assignment = [(Cond::new(0), true)].into_iter().collect();
         a.extend([(Cond::new(1), false)]);
         assert_eq!(a.len(), 2);
-        assert_eq!(a.conds().collect::<Vec<_>>(), vec![Cond::new(0), Cond::new(1)]);
+        assert_eq!(
+            a.conds().collect::<Vec<_>>(),
+            vec![Cond::new(0), Cond::new(1)]
+        );
     }
 }

@@ -184,10 +184,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f_lo, f_hi) = self.cofactors_at(f, top);
         let (g_lo, g_hi) = self.cofactors_at(g, top);
         let (h_lo, h_hi) = self.cofactors_at(h, top);

@@ -1,9 +1,11 @@
 //! Property-based tests for the guard algebra: Boolean laws, Shannon
 //! expansion, cofactor semantics, and probability axioms on randomly
-//! generated expressions.
+//! generated expressions. Runs on `spec_support::proptest_lite`, so the
+//! whole suite is deterministic and offline.
 
 use guards::{Assignment, BddManager, Cond, CondProbs, Cube, Guard, Literal};
-use proptest::prelude::*;
+use spec_support::props;
+use spec_support::proptest_lite as pl;
 
 const NVARS: u32 = 5;
 
@@ -51,18 +53,18 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Expr::Const),
-        (0..NVARS, any::<bool>()).prop_map(|(v, p)| Expr::Lit(v, p)),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-        ]
+fn arb_expr() -> pl::Gen<Expr> {
+    let leaf = pl::one_of(vec![
+        pl::boolean().map(Expr::Const),
+        pl::tuple2(pl::range(0u32..NVARS), pl::boolean()).map(|(v, p)| Expr::Lit(v, p)),
+    ]);
+    pl::recursive(4, leaf, |inner| {
+        pl::one_of(vec![
+            inner.clone().map(|e| Expr::Not(Box::new(e))),
+            pl::tuple2(inner.clone(), inner.clone())
+                .map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            pl::tuple2(inner.clone(), inner).map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ])
     })
 }
 
@@ -79,37 +81,34 @@ fn to_assignment(bits: &[bool]) -> Assignment {
         .collect()
 }
 
-proptest! {
+props! {
     /// The BDD build agrees with direct evaluation on every assignment —
     /// the fundamental soundness property.
-    #[test]
     fn bdd_matches_truth_table(e in arb_expr()) {
         let mut m = BddManager::new();
         let g = e.build(&mut m);
         for asg in all_assignments() {
             let expect = e.eval(&asg);
             // Pad the assignment over all vars so eval never under-covers.
-            prop_assert_eq!(m.eval(g, &to_assignment(&asg)), expect);
+            assert_eq!(m.eval(g, &to_assignment(&asg)), expect);
         }
     }
 
     /// Canonicity: semantically equal expressions produce identical handles.
-    #[test]
     fn bdd_canonical(e in arb_expr()) {
         let mut m = BddManager::new();
         let g = e.build(&mut m);
         // Double negation is syntactically different, semantically equal.
         let n = m.not(g);
         let nn = m.not(n);
-        prop_assert_eq!(g, nn);
+        assert_eq!(g, nn);
         // g ∨ g == g ∧ g == g (idempotence).
-        prop_assert_eq!(m.or(g, g), g);
-        prop_assert_eq!(m.and(g, g), g);
+        assert_eq!(m.or(g, g), g);
+        assert_eq!(m.and(g, g), g);
     }
 
     /// Shannon expansion: g == (c ∧ g|c=1) ∨ (¬c ∧ g|c=0) for every var.
-    #[test]
-    fn shannon_expansion(e in arb_expr(), v in 0..NVARS) {
+    fn shannon_expansion(e in arb_expr(), v in pl::range(0u32..NVARS)) {
         let mut m = BddManager::new();
         let g = e.build(&mut m);
         let c = Cond::new(v);
@@ -120,14 +119,13 @@ proptest! {
         let a = m.and(lit, hi);
         let b = m.and(nlit, lo);
         let rebuilt = m.or(a, b);
-        prop_assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt, g);
         // Cofactors never mention the resolved condition.
-        prop_assert!(!m.support(hi).contains(&c));
-        prop_assert!(!m.support(lo).contains(&c));
+        assert!(!m.support(hi).contains(&c));
+        assert!(!m.support(lo).contains(&c));
     }
 
     /// De Morgan / distributivity on random pairs.
-    #[test]
     fn boolean_laws(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
         let mut m = BddManager::new();
         let (ga, gb, gc) = (a.build(&mut m), b.build(&mut m), c.build(&mut m));
@@ -136,17 +134,16 @@ proptest! {
         let na = m.not(ga);
         let nb = m.not(gb);
         let rhs = m.or(na, nb);
-        prop_assert_eq!(lhs, rhs, "De Morgan");
+        assert_eq!(lhs, rhs, "De Morgan");
         let or_bc = m.or(gb, gc);
         let lhs = m.and(ga, or_bc);
         let ab = m.and(ga, gb);
         let ac = m.and(ga, gc);
         let rhs = m.or(ab, ac);
-        prop_assert_eq!(lhs, rhs, "distributivity");
+        assert_eq!(lhs, rhs, "distributivity");
     }
 
     /// Minterm enumeration returns exactly the satisfying assignments.
-    #[test]
     fn assignments_complete_and_sound(e in arb_expr()) {
         let mut m = BddManager::new();
         let g = e.build(&mut m);
@@ -156,16 +153,18 @@ proptest! {
             .iter()
             .filter(|asg| e.eval(asg))
             .count();
-        prop_assert_eq!(sats.len(), expect);
+        assert_eq!(sats.len(), expect);
         for asg in &sats {
-            prop_assert!(m.eval(g, asg));
+            assert!(m.eval(g, asg));
         }
     }
 
     /// Probability axioms: P ∈ [0,1], P(g) + P(¬g) = 1, and P equals the
     /// weighted truth-table sum.
-    #[test]
-    fn probability_axioms(e in arb_expr(), ps in proptest::collection::vec(0.0f64..=1.0, NVARS as usize)) {
+    fn probability_axioms(
+        e in arb_expr(),
+        ps in pl::vec_of(pl::f64_range(0.0..1.0), NVARS as usize..NVARS as usize + 1),
+    ) {
         let mut m = BddManager::new();
         let g = e.build(&mut m);
         let mut probs = CondProbs::new();
@@ -173,10 +172,10 @@ proptest! {
             probs.set(Cond::new(i as u32), p);
         }
         let pg = probs.probability(&m, g);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&pg));
+        assert!((0.0..=1.0 + 1e-12).contains(&pg));
         let ng = m.not(g);
         let png = probs.probability(&m, ng);
-        prop_assert!((pg + png - 1.0).abs() < 1e-9);
+        assert!((pg + png - 1.0).abs() < 1e-9);
         // Weighted truth-table sum.
         let mut sum = 0.0;
         for asg in all_assignments() {
@@ -188,12 +187,13 @@ proptest! {
                 sum += w;
             }
         }
-        prop_assert!((pg - sum).abs() < 1e-9, "pg={pg} sum={sum}");
+        assert!((pg - sum).abs() < 1e-9, "pg={pg} sum={sum}");
     }
 
     /// Cubes agree with the BDD they convert to.
-    #[test]
-    fn cube_guard_agrees(lits in proptest::collection::vec((0..NVARS, any::<bool>()), 0..6)) {
+    fn cube_guard_agrees(
+        lits in pl::vec_of(pl::tuple2(pl::range(0u32..NVARS), pl::boolean()), 0..6),
+    ) {
         let literals: Vec<Literal> = lits
             .iter()
             .map(|&(v, p)| Literal { cond: Cond::new(v), value: p })
@@ -204,13 +204,13 @@ proptest! {
                 let g = cube.guard(&mut m);
                 let parts: Vec<Guard> = literals.iter().map(|l| l.guard(&mut m)).collect();
                 let direct = m.and_all(parts);
-                prop_assert_eq!(g, direct);
+                assert_eq!(g, direct);
             }
             None => {
                 // Contradictory literal sets collapse to FALSE directly.
                 let parts: Vec<Guard> = literals.iter().map(|l| l.guard(&mut m)).collect();
                 let direct = m.and_all(parts);
-                prop_assert!(direct.is_false());
+                assert!(direct.is_false());
             }
         }
     }

@@ -221,7 +221,10 @@ impl State {
             Stmt::Store(m, addr, val) => {
                 let a = self.eval(addr)?;
                 let v = self.eval(val)?;
-                let size = *self.mem_sizes.get(m).ok_or_else(|| ExecError::NotAMem(m.clone()))?;
+                let size = *self
+                    .mem_sizes
+                    .get(m)
+                    .ok_or_else(|| ExecError::NotAMem(m.clone()))?;
                 let idx = (a.rem_euclid(size as i64)) as usize;
                 self.mems.get_mut(m).expect("sized memories exist")[idx] = v;
                 Ok(())

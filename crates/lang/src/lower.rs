@@ -385,11 +385,7 @@ mod tests {
         let lp = &g.loops()[0];
         assert_eq!(g.op(lp.cond()).kind(), OpKind::Ne);
         // Two subtractions, gated on opposite branch polarities.
-        let subs: Vec<_> = g
-            .ops()
-            .iter()
-            .filter(|o| o.kind() == OpKind::Sub)
-            .collect();
+        let subs: Vec<_> = g.ops().iter().filter(|o| o.kind() == OpKind::Sub).collect();
         assert_eq!(subs.len(), 2);
         let pol = |o: &cdfg::Op| {
             o.ctrl_deps()
@@ -439,9 +435,8 @@ mod tests {
 
     #[test]
     fn unchanged_branch_variable_avoids_select() {
-        let g = compile_src(
-            "design d { input a; output o; var x = 5; if (a > 0) { x = x; } o = x; }",
-        );
+        let g =
+            compile_src("design d { input a; output o; var x = 5; if (a > 0) { x = x; } o = x; }");
         assert!(
             !g.ops().iter().any(|o| o.kind() == OpKind::Select),
             "assigning the same source needs no select"
@@ -475,11 +470,7 @@ mod tests {
         );
         // Only `i` is carried: exactly one exit pass for the data var, plus
         // possibly none for memories (no memories here).
-        let passes = g
-            .ops()
-            .iter()
-            .filter(|o| o.kind() == OpKind::Pass)
-            .count();
+        let passes = g.ops().iter().filter(|o| o.kind() == OpKind::Pass).count();
         assert_eq!(passes, 1, "one exit view for i");
     }
 

@@ -374,9 +374,8 @@ mod tests {
 
     #[test]
     fn mem_declaration_store_load() {
-        let p =
-            Program::parse("design d { input a; output o; mem M[4]; M[0] = a; o = M[0]; }")
-                .unwrap();
+        let p = Program::parse("design d { input a; output o; mem M[4]; M[0] = a; o = M[0]; }")
+            .unwrap();
         assert_eq!(p.mems, vec![("M".to_string(), 4)]);
         assert!(matches!(p.body[0], Stmt::Store(..)));
         match &p.body[1] {

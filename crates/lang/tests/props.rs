@@ -1,89 +1,92 @@
 //! Property-based tests for the frontend: pretty-print/reparse is a
 //! fixpoint on random programs, and the interpreter and CDFG lowering
-//! agree wherever both are defined.
+//! agree wherever both are defined. Runs on
+//! `spec_support::proptest_lite`, so the whole suite is deterministic
+//! and offline.
 
 use hls_lang::{BinOp, Expr, Program, Stmt, UnOp};
-use proptest::prelude::*;
+use spec_support::props;
+use spec_support::proptest_lite as pl;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
+fn arb_expr() -> pl::Gen<Expr> {
+    let leaf = pl::one_of(vec![
         // Non-negative literals only: `-45` lexes as unary minus
         // applied to 45, so a negative Int literal cannot round-trip
         // *structurally* (it does semantically, which the second
         // property covers).
-        (0i64..50).prop_map(Expr::Int),
-        prop_oneof![Just("x"), Just("y"), Just("a"), Just("b")]
-            .prop_map(|s| Expr::Ident(s.to_string())),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        let bin = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Xor),
-            Just(BinOp::Shl),
-            Just(BinOp::Shr),
-            Just(BinOp::Lt),
-            Just(BinOp::Le),
-            Just(BinOp::Gt),
-            Just(BinOp::Ge),
-            Just(BinOp::Eq),
-            Just(BinOp::Ne),
-            Just(BinOp::And),
-            Just(BinOp::Or),
-        ];
-        prop_oneof![
-            (inner.clone(), bin, inner.clone())
-                .prop_map(|(l, op, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            inner.prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
-        ]
+        pl::range(0i64..50).map(Expr::Int),
+        pl::one_of(vec![
+            pl::just("x"),
+            pl::just("y"),
+            pl::just("a"),
+            pl::just("b"),
+        ])
+        .map(|s| Expr::Ident(s.to_string())),
+    ]);
+    pl::recursive(3, leaf, |inner| {
+        let bin = pl::one_of(vec![
+            pl::just(BinOp::Add),
+            pl::just(BinOp::Sub),
+            pl::just(BinOp::Mul),
+            pl::just(BinOp::Xor),
+            pl::just(BinOp::Shl),
+            pl::just(BinOp::Shr),
+            pl::just(BinOp::Lt),
+            pl::just(BinOp::Le),
+            pl::just(BinOp::Gt),
+            pl::just(BinOp::Ge),
+            pl::just(BinOp::Eq),
+            pl::just(BinOp::Ne),
+            pl::just(BinOp::And),
+            pl::just(BinOp::Or),
+        ]);
+        pl::one_of(vec![
+            pl::tuple3(inner.clone(), bin, inner.clone())
+                .map(|(l, op, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            inner.clone().map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner.map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+        ])
     })
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let assign = prop_oneof![Just("a"), Just("b"), Just("o")];
-    let leaf = (assign, arb_expr()).prop_map(|(n, e)| Stmt::Assign(n.to_string(), e));
-    leaf.prop_recursive(2, 12, 3, |inner| {
-        prop_oneof![
-            (
+fn arb_stmt() -> pl::Gen<Stmt> {
+    let assign = pl::one_of(vec![pl::just("a"), pl::just("b"), pl::just("o")]);
+    let leaf = pl::tuple2(assign, arb_expr()).map(|(n, e)| Stmt::Assign(n.to_string(), e));
+    pl::recursive(2, leaf, |inner| {
+        pl::one_of(vec![
+            pl::tuple3(
                 arb_expr(),
-                proptest::collection::vec(inner.clone(), 1..3),
-                proptest::collection::vec(inner.clone(), 0..3)
+                pl::vec_of(inner.clone(), 1..3),
+                pl::vec_of(inner.clone(), 0..3),
             )
-                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
-            (
-                proptest::collection::vec(inner, 1..3)
-            )
-                .prop_map(|body| {
-                    // A loop bounded by a fresh counter so execution
-                    // always terminates.
-                    Stmt::While(
-                        Expr::Binary(
-                            BinOp::Lt,
-                            Box::new(Expr::Ident("i".into())),
-                            Box::new(Expr::Int(4)),
-                        ),
-                        body.into_iter()
-                            .chain([Stmt::Assign(
-                                "i".into(),
-                                Expr::Binary(
-                                    BinOp::Add,
-                                    Box::new(Expr::Ident("i".into())),
-                                    Box::new(Expr::Int(1)),
-                                ),
-                            )])
-                            .collect(),
-                    )
-                }),
-        ]
+            .map(|(c, t, e)| Stmt::If(c, t, e)),
+            pl::vec_of(inner, 1..3).map(|body| {
+                // A loop bounded by a fresh counter so execution
+                // always terminates.
+                Stmt::While(
+                    Expr::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::Ident("i".into())),
+                        Box::new(Expr::Int(4)),
+                    ),
+                    body.into_iter()
+                        .chain([Stmt::Assign(
+                            "i".into(),
+                            Expr::Binary(
+                                BinOp::Add,
+                                Box::new(Expr::Ident("i".into())),
+                                Box::new(Expr::Int(1)),
+                            ),
+                        )])
+                        .collect(),
+                )
+            }),
+        ])
     })
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(arb_stmt(), 1..5).prop_map(|body| Program {
+fn arb_program() -> pl::Gen<Program> {
+    pl::vec_of(arb_stmt(), 1..5).map(|body| Program {
         name: "rnd".into(),
         inputs: vec!["x".into(), "y".into()],
         outputs: vec!["o".into()],
@@ -99,28 +102,28 @@ fn arb_program() -> impl Strategy<Value = Program> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+props! {
     /// Pretty-print followed by reparse reproduces the AST exactly.
-    #[test]
     fn display_parse_roundtrip(p in arb_program()) {
         let printed = p.to_string();
         let reparsed = Program::parse(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(p, reparsed);
+        assert_eq!(p, reparsed);
     }
 
     /// The AST interpreter and the direct CDFG executor agree on random
     /// programs and inputs — two independent semantics, one answer.
-    #[test]
-    fn interp_and_lowering_agree(p in arb_program(), x in -20i64..20, y in -20i64..20) {
+    fn interp_and_lowering_agree(
+        p in arb_program(),
+        x in pl::range(-20i64..20),
+        y in pl::range(-20i64..20),
+    ) {
         let inputs = [("x", x), ("y", y)];
         let ast = hls_lang::interp::run(&p, &inputs, &Default::default(), 1_000_000)
             .expect("bounded programs terminate");
         let g = hls_lang::lower::compile(&p).expect("random programs lower");
         let cdfg = hls_sim::execute_cdfg(&g, &inputs, &Default::default(), 1_000_000)
             .expect("bounded programs terminate");
-        prop_assert_eq!(&ast.outputs, &cdfg.outputs);
+        assert_eq!(&ast.outputs, &cdfg.outputs);
     }
 }

@@ -283,16 +283,13 @@ mod tests {
     #[test]
     fn area_report_sums() {
         let (_, a) = gcd_rtl(Mode::NonSpeculative);
-        assert!(
-            (a.total() - (a.fu_area + a.reg_area + a.mux_area + a.ctrl_area)).abs() < 1e-9
-        );
+        assert!((a.total() - (a.fu_area + a.reg_area + a.mux_area + a.ctrl_area)).abs() < 1e-9);
         assert!(a.fu_area > 0.0 && a.reg_area > 0.0 && a.ctrl_area > 0.0);
     }
 
     #[test]
     fn straight_line_design_needs_no_fold_transfers() {
-        let p = hls_lang::Program::parse("design d { input a, b; output o; o = a + b; }")
-            .unwrap();
+        let p = hls_lang::Program::parse("design d { input a, b; output o; o = a + b; }").unwrap();
         let g = hls_lang::lower::compile(&p).unwrap();
         let r = schedule(
             &g,

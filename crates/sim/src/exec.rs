@@ -269,11 +269,7 @@ impl Exec<'_> {
         self.tick()?;
         let op = self.g.op(id);
         let kind = op.kind();
-        let vals: Vec<Value> = op
-            .ports()
-            .iter()
-            .map(|p| self.read_port(id, p))
-            .collect();
+        let vals: Vec<Value> = op.ports().iter().map(|p| self.read_port(id, p)).collect();
         // Side effects commit only when the realized branch conditions
         // hold (loop gating is implied by reaching this point).
         let branches_hold = op
@@ -335,13 +331,9 @@ mod tests {
         for (x, y) in [(54, 24), (7, 13), (9, 9), (100, 1)] {
             let cd = exec(src, &[("x", x), ("y", y)]);
             let p = Program::parse(src).unwrap();
-            let it = hls_lang::interp::run(
-                &p,
-                &[("x", x), ("y", y)],
-                &Default::default(),
-                1_000_000,
-            )
-            .unwrap();
+            let it =
+                hls_lang::interp::run(&p, &[("x", x), ("y", y)], &Default::default(), 1_000_000)
+                    .unwrap();
             assert_eq!(cd.outputs["g"], it.outputs["g"], "gcd({x},{y})");
         }
     }

@@ -131,9 +131,9 @@ impl<'a> StgSimulator<'a> {
                     vals.push(match o {
                         ValRef::Const(v) => *v,
                         ValRef::Input(i) => input_vals[i.index()],
-                        ValRef::Inst(inst) => *registry.get(inst).ok_or_else(|| {
-                            SimError::MissingValue(format!("{inst} in {state}"))
-                        })?,
+                        ValRef::Inst(inst) => *registry
+                            .get(inst)
+                            .ok_or_else(|| SimError::MissingValue(format!("{inst} in {state}")))?,
                     });
                 }
                 let kind = self.g.op(op.inst.op).kind();
@@ -220,12 +220,7 @@ mod tests {
     use hls_resources::{Allocation, FuClass, Library};
     use wavesched::{schedule, Mode, SchedConfig};
 
-    fn run_design(
-        src: &str,
-        mode: Mode,
-        alloc: Allocation,
-        inputs: &[(&str, i64)],
-    ) -> SimOutcome {
+    fn run_design(src: &str, mode: Mode, alloc: Allocation, inputs: &[(&str, i64)]) -> SimOutcome {
         let p = Program::parse(src).unwrap();
         let g = hls_lang::lower::compile(&p).unwrap();
         let r = schedule(
@@ -296,7 +291,11 @@ mod tests {
         );
         // Steady state reaches one iteration per cycle (plus constant
         // fill/drain), versus ≥ 2 for the serial schedule.
-        assert!(sp.cycles <= 20 + 4, "~1 cycle per iteration, got {}", sp.cycles);
+        assert!(
+            sp.cycles <= 20 + 4,
+            "~1 cycle per iteration, got {}",
+            sp.cycles
+        );
         assert!(ns.cycles >= 2 * 20, "serial schedule pays the dependence");
     }
 

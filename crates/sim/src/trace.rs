@@ -6,7 +6,7 @@
 //! optionally clamping/offsetting to match each design's input domain
 //! (e.g. GCD operands must be positive).
 
-use rand::{Rng, SeedableRng};
+use spec_support::rng::{Rng, Xoshiro256StarStar};
 
 /// A seeded Gaussian integer-trace generator.
 ///
@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug)]
 pub struct Gaussian {
-    rng: rand::rngs::StdRng,
+    rng: Xoshiro256StarStar,
     mean: f64,
     sigma: f64,
     spare: Option<f64>,
@@ -35,7 +35,7 @@ impl Gaussian {
     /// deviation.
     pub fn new(seed: u64, mean: f64, sigma: f64) -> Self {
         Gaussian {
-            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
             mean,
             sigma,
             spare: None,
@@ -47,10 +47,12 @@ impl Gaussian {
         let z = if let Some(s) = self.spare.take() {
             s
         } else {
-            // Box–Muller.
-            let u1: f64 = self.rng.random_range(f64::EPSILON..1.0);
-            let u2: f64 = self.rng.random_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
+            // Box–Muller. The literals are typed: without `rand`'s
+            // generic return anchoring them, `-2.0 * u1.ln()` would be
+            // an ambiguous {float}.
+            let u1: f64 = self.rng.range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.range(0.0_f64..1.0);
+            let r: f64 = (-2.0_f64 * u1.ln()).sqrt();
             let theta = 2.0 * std::f64::consts::PI * u2;
             self.spare = Some(r * theta.sin());
             r * theta.cos()

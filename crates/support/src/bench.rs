@@ -1,0 +1,238 @@
+//! A minimal wall-clock micro-bench harness replacing `criterion`.
+//!
+//! Each [`Harness`] owns one named group (one `benches/*.rs` target).
+//! [`Harness::bench`] runs warmup iterations, then N timed iterations,
+//! and records min/mean/median/p95/max nanoseconds per iteration.
+//! [`Harness::finish`] prints a summary table and writes the group's
+//! results as `BENCH_<group>.json` so successive PRs can track a perf
+//! trajectory from machine-readable artifacts.
+//!
+//! Runtime knobs (environment variables):
+//!
+//! * `SPEC_BENCH_ITERS` — timed iterations per bench (default 30).
+//! * `SPEC_BENCH_WARMUP` — warmup iterations per bench (default 3).
+//! * `SPEC_BENCH_DIR` — output directory for the JSON artifacts
+//!   (default `target/spec-bench`).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (p50).
+    pub median_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+/// A bench group: runs closures, accumulates [`Stats`], emits JSON.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    iters: u32,
+    warmup: u32,
+    out_dir: PathBuf,
+    results: Vec<Stats>,
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+impl Harness {
+    /// A harness for the named group, configured from the environment.
+    pub fn new(group: &str) -> Self {
+        let out_dir = std::env::var("SPEC_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| default_out_dir());
+        Harness {
+            group: group.to_string(),
+            iters: env_u32("SPEC_BENCH_ITERS", 30),
+            warmup: env_u32("SPEC_BENCH_WARMUP", 3),
+            out_dir,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the JSON output directory (mainly for tests).
+    pub fn out_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.out_dir = dir.as_ref().to_path_buf();
+        self
+    }
+
+    /// Times `f` with the group-default iteration count.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_n(name, self.iters, f);
+    }
+
+    /// Times `f` with an explicit iteration count (for slow benches).
+    pub fn bench_n<R>(&mut self, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples: Vec<u64> = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let stats = Stats {
+            name: name.to_string(),
+            iters,
+            min_ns: samples[0],
+            mean_ns: (samples.iter().sum::<u64>() / n as u64).max(1),
+            median_ns: samples[n / 2],
+            p95_ns: samples[(n - 1) * 95 / 100],
+            max_ns: samples[n - 1],
+        };
+        println!(
+            "{:<44} median {:>10}  p95 {:>10}  (n={})",
+            format!("{}/{}", self.group, stats.name),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            iters,
+        );
+        self.results.push(stats);
+    }
+
+    /// Read access to the accumulated results.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Writes `BENCH_<group>.json` under the output directory and
+    /// returns its path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(format!("BENCH_{}.json", self.group));
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"group\": {},\n", json_string(&self.group)));
+        json.push_str("  \"unit\": \"ns/iter\",\n");
+        json.push_str("  \"benches\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": {}, \"iters\": {}, \"min\": {}, \"mean\": {}, \
+                 \"median\": {}, \"p95\": {}, \"max\": {}}}{}\n",
+                json_string(&s.name),
+                s.iters,
+                s.min_ns,
+                s.mean_ns,
+                s.median_ns,
+                s.p95_ns,
+                s.max_ns,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json)?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Cargo runs bench binaries with the *package* directory as cwd, so a
+/// bare relative `target/` would scatter artifacts per crate. Anchor at
+/// the workspace root instead — the nearest ancestor with a
+/// `Cargo.lock` — falling back to cwd-relative if none is found.
+fn default_out_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target/spec-bench");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/spec-bench");
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_ordered_stats() {
+        let mut h = Harness::new("selftest").out_dir(std::env::temp_dir());
+        h.bench_n("busy_loop", 11, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        let s = &h.results()[0];
+        assert_eq!(s.iters, 11);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn finish_writes_parseable_json() {
+        let dir = std::env::temp_dir().join(format!("spec-bench-test-{}", std::process::id()));
+        let mut h = Harness::new("jsontest").out_dir(&dir);
+        h.bench_n("noop \"quoted\"", 3, || 1 + 1);
+        let path = h.finish().expect("writes");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"group\": \"jsontest\""));
+        assert!(text.contains("noop \\\"quoted\\\""));
+        assert!(text.contains("\"median\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -91,12 +91,7 @@ impl Workload {
 
     /// `n` seeded input vectors (positive Gaussian magnitudes, capped).
     pub fn vectors(&self, n: usize) -> Vec<Vec<(String, i64)>> {
-        let names: Vec<&str> = self
-            .program
-            .inputs
-            .iter()
-            .map(|s| s.as_str())
-            .collect();
+        let names: Vec<&str> = self.program.inputs.iter().map(|s| s.as_str()).collect();
         hls_sim::trace::positive_vectors(self.seed, &names, self.sigma, self.cap, n)
     }
 }
@@ -212,8 +207,8 @@ pub fn barcode() -> Workload {
     w.mem_init.insert(
         "SIG".into(),
         vec![
-            0, 0, 0, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 0,
-            1, 1, 1, 1, 0,
+            0, 0, 0, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1, 1,
+            1, 1, 0,
         ],
     );
     w
@@ -432,8 +427,7 @@ mod tests {
             let vectors = w.vectors(3);
             assert_eq!(vectors.len(), 3, "{}", w.name);
             for v in &vectors {
-                let inputs: Vec<(&str, i64)> =
-                    v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
+                let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
                 let image = hls_lang::MemImage {
                     contents: w.mem_init.clone(),
                 };
@@ -447,16 +441,13 @@ mod tests {
     fn interpreters_agree_on_all_workloads() {
         for w in all().into_iter().chain([triangle(), dsp_clip(), fig4()]) {
             for v in w.vectors(3) {
-                let inputs: Vec<(&str, i64)> =
-                    v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
+                let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
                 let image = hls_lang::MemImage {
                     contents: w.mem_init.clone(),
                 };
-                let a = hls_lang::interp::run(&w.program, &inputs, &image, 10_000_000)
-                    .unwrap();
+                let a = hls_lang::interp::run(&w.program, &inputs, &image, 10_000_000).unwrap();
                 let mem_init: HashMap<String, Vec<i64>> = w.mem_init.clone();
-                let b =
-                    hls_sim::execute_cdfg(&w.cdfg, &inputs, &mem_init, 10_000_000).unwrap();
+                let b = hls_sim::execute_cdfg(&w.cdfg, &inputs, &mem_init, 10_000_000).unwrap();
                 assert_eq!(a.outputs, b.outputs, "{} on {v:?}", w.name);
                 assert_eq!(a.mems, b.mems, "{} on {v:?}", w.name);
             }
@@ -492,8 +483,7 @@ mod tests {
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
         };
-        let out =
-            hls_lang::interp::run(&w.program, &[("n", 16)], &image, 1_000_000).unwrap();
+        let out = hls_lang::interp::run(&w.program, &[("n", 16)], &image, 1_000_000).unwrap();
         assert_eq!(out.outputs["min"], 5);
         assert_eq!(out.outputs["idx"], 12);
     }
@@ -530,8 +520,7 @@ mod tests {
             contents: w.mem_init.clone(),
         };
         for k in [1, 50, 200] {
-            let out =
-                hls_lang::interp::run(&w.program, &[("k", k)], &image, 1_000_000).unwrap();
+            let out = hls_lang::interp::run(&w.program, &[("k", k)], &image, 1_000_000).unwrap();
             // t4 = i + 7 with the ramp image, so the loop runs ≈ k − 7
             // iterations and stays well inside the 256-entry arrays.
             assert!(out.outputs["iters"] <= 200);
@@ -540,8 +529,7 @@ mod tests {
 
     #[test]
     fn table2_allocations_match_paper() {
-        let by_name: HashMap<&str, Workload> =
-            all().into_iter().map(|w| (w.name, w)).collect();
+        let by_name: HashMap<&str, Workload> = all().into_iter().map(|w| (w.name, w)).collect();
         let gcd = &by_name["GCD"].allocation;
         assert!(gcd.limit(FuClass::Subtracter).allows(1));
         assert!(!gcd.limit(FuClass::Subtracter).allows(2));
@@ -555,7 +543,10 @@ mod tests {
     fn fig4_library_is_single_cycle() {
         let lib = fig4_library();
         assert_eq!(lib.spec(FuClass::Multiplier).latency, 1);
-        assert_eq!(fig4_allocation(2).limit(FuClass::Adder), hls_resources::Limit::Finite(2));
+        assert_eq!(
+            fig4_allocation(2).limit(FuClass::Adder),
+            hls_resources::Limit::Finite(2)
+        );
     }
 }
 

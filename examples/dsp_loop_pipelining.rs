@@ -17,9 +17,16 @@ fn main() {
     for mode in [Mode::NonSpeculative, Mode::Speculative] {
         let mut cfg = SchedConfig::new(mode);
         cfg.max_spec_depth = w.spec_depth;
-        let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
-            .expect("dsp_clip schedules");
-        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+        let r =
+            schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg).expect("dsp_clip schedules");
+        let m = measure(
+            &w.cdfg,
+            &r.stg,
+            &vectors,
+            &mem,
+            Some(&w.program),
+            w.cycle_limit,
+        );
         let d = rtl_synth::synthesize(&w.cdfg, &r.stg);
         let a = rtl_synth::area(&d, &w.library);
         println!("=== {mode} ===");

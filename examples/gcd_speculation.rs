@@ -13,11 +13,20 @@ fn main() {
     let vectors = w.vectors(40);
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
     let probs = profile(&w.cdfg, &vectors, &mem);
-    println!("profiled loop-continue probability: {:.3}\n", probs.get(w.cdfg.loops()[0].cond()));
+    println!(
+        "profiled loop-continue probability: {:.3}\n",
+        probs.get(w.cdfg.loops()[0].cond())
+    );
 
     for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
-        let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &SchedConfig::new(mode))
-            .expect("GCD schedules");
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &w.allocation,
+            &probs,
+            &SchedConfig::new(mode),
+        )
+        .expect("GCD schedules");
         let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000);
         println!("=== {mode} ===");
         println!(

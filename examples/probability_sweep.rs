@@ -16,7 +16,7 @@ fn main() {
         .find(|o| o.kind() == cdfg::OpKind::Gt)
         .expect("fig4 comparison")
         .id();
-    let mut build = |adders: u32, p: f64, mode: Mode| {
+    let build = |adders: u32, p: f64, mode: Mode| {
         let mut probs = BranchProbs::new();
         probs.set(cond, p);
         schedule(
@@ -29,8 +29,14 @@ fn main() {
         .expect("fig4 schedules")
     };
     let schedules = [
-        ("1 adder, designed for P=0.2", build(1, 0.2, Mode::Speculative)),
-        ("1 adder, designed for P=0.8", build(1, 0.8, Mode::Speculative)),
+        (
+            "1 adder, designed for P=0.2",
+            build(1, 0.2, Mode::Speculative),
+        ),
+        (
+            "1 adder, designed for P=0.8",
+            build(1, 0.8, Mode::Speculative),
+        ),
         ("2 adders", build(2, 0.8, Mode::Speculative)),
         ("1 adder, single-path", build(1, 0.8, Mode::SinglePath)),
     ];

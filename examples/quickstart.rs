@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Lower to the CDFG the schedulers consume.
     let g = hls_lang::lower::compile(&program)?;
-    println!("CDFG `{}`: {} ops, {} loop(s)", g.name(), g.ops().len(), g.loops().len());
+    println!(
+        "CDFG `{}`: {} ops, {} loop(s)",
+        g.name(),
+        g.ops().len(),
+        g.loops().len()
+    );
 
     // 3. Schedule with fine-grained multi-path speculation under explicit
     //    resource constraints.
@@ -62,8 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = StgSimulator::new(&g, &result.stg);
     for n in [1i64, 5, 19, 40] {
         let out = sim.run(&[("n", n)], &HashMap::new(), 100_000)?;
-        let golden =
-            hls_lang::interp::run(&program, &[("n", n)], &Default::default(), 1_000_000)?;
+        let golden = hls_lang::interp::run(&program, &[("n", n)], &Default::default(), 1_000_000)?;
         assert_eq!(out.outputs, golden.outputs);
         println!(
             "n = {n:>3}: steps = {:>3} in {:>4} cycles",

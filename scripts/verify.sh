@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as the build environment does: no
+# network, no registry. A regression back to registry dependencies
+# (rand/proptest/criterion/...) fails here at dependency *resolution*,
+# before a single crate compiles — which is the point: offline
+# buildability is itself an invariant of this repo (see DESIGN.md,
+# "Zero external dependencies").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "rustfmt not installed; skipping format check"
+fi
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "verify: OK"

@@ -64,7 +64,10 @@ fn fig13_condition_chain_shares_a_state() {
         }
         eq_iters.iter().any(|i| not_iters.contains(i))
     });
-    assert!(chained, "==1 and !1 of the same iteration chain in one state");
+    assert!(
+        chained,
+        "==1 and !1 of the same iteration chain in one state"
+    );
 }
 
 #[test]

@@ -52,13 +52,8 @@ fn equivalence_holds_in_every_mode_on_gcd_corner_cases() {
         for (x, y) in [(1, 1), (1, 2), (2, 1), (63, 62), (62, 2), (3, 60)] {
             let inputs = [("x", x), ("y", y)];
             let got = sim.run(&inputs, &HashMap::new(), 1_000_000).unwrap();
-            let want = hls_lang::interp::run(
-                &w.program,
-                &inputs,
-                &Default::default(),
-                10_000_000,
-            )
-            .unwrap();
+            let want = hls_lang::interp::run(&w.program, &inputs, &Default::default(), 10_000_000)
+                .unwrap();
             assert_eq!(got.outputs, want.outputs, "{mode} gcd({x},{y})");
         }
     }

@@ -44,7 +44,14 @@ fn fig2_steady_state_cycles_per_iteration() {
     for mode in [Mode::NonSpeculative, Mode::Speculative] {
         let mut cfg = SchedConfig::new(mode);
         cfg.max_spec_depth = w.spec_depth;
-        let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg).unwrap();
+        let r = schedule(
+            &w.cdfg,
+            &w.library,
+            &w.allocation,
+            &Default::default(),
+            &cfg,
+        )
+        .unwrap();
         let sim = hls_sim::StgSimulator::new(&w.cdfg, &r.stg);
         let short = sim.run(&[("k", 107)], &mem, w.cycle_limit).unwrap();
         let long = sim.run(&[("k", 207)], &mem, w.cycle_limit).unwrap();

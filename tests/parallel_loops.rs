@@ -65,13 +65,9 @@ fn independent_loops_verify_in_both_modes() {
             let out = sim
                 .run(&[("n", n), ("m", m)], &HashMap::new(), 10_000)
                 .unwrap();
-            let want = hls_lang::interp::run(
-                &p,
-                &[("n", n), ("m", m)],
-                &Default::default(),
-                1_000_000,
-            )
-            .unwrap();
+            let want =
+                hls_lang::interp::run(&p, &[("n", n), ("m", m)], &Default::default(), 1_000_000)
+                    .unwrap();
             assert_eq!(out.outputs, want.outputs, "{mode} on ({n},{m})");
         }
     }

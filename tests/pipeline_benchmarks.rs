@@ -15,7 +15,14 @@ fn check(w: &Workload, mode: Mode, runs: usize) -> f64 {
     let r = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
         .unwrap_or_else(|e| panic!("{} / {mode}: {e}", w.name));
     assert_eq!(r.stg.check(), Ok(()), "{} / {mode}", w.name);
-    let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), w.cycle_limit);
+    let m = measure(
+        &w.cdfg,
+        &r.stg,
+        &vectors,
+        &mem,
+        Some(&w.program),
+        w.cycle_limit,
+    );
     assert_eq!(m.mismatches, 0, "{} / {mode}: wrong results", w.name);
     m.mean_cycles
 }
@@ -45,9 +52,21 @@ fn speedup_shape_matches_table1() {
         speedups.insert(w.name, ws / spec);
     }
     assert!(speedups["GCD"] > 1.5, "GCD speedup {}", speedups["GCD"]);
-    assert!(speedups["Test1"] > 3.0, "Test1 speedup {}", speedups["Test1"]);
-    assert!(speedups["Findmin"] > 1.2, "Findmin speedup {}", speedups["Findmin"]);
-    assert!(speedups["Barcode"] > 1.2, "Barcode speedup {}", speedups["Barcode"]);
+    assert!(
+        speedups["Test1"] > 3.0,
+        "Test1 speedup {}",
+        speedups["Test1"]
+    );
+    assert!(
+        speedups["Findmin"] > 1.2,
+        "Findmin speedup {}",
+        speedups["Findmin"]
+    );
+    assert!(
+        speedups["Barcode"] > 1.2,
+        "Barcode speedup {}",
+        speedups["Barcode"]
+    );
     assert!(
         (speedups["TLC"] - 1.0).abs() < 0.1,
         "TLC shows essentially no speedup (paper: exactly 1.0), got {}",
@@ -80,8 +99,14 @@ fn nested_loops_error_loudly_not_silently() {
     let mut cfg = SchedConfig::new(Mode::Speculative);
     cfg.max_spec_depth = w.spec_depth;
     cfg.max_states = 512;
-    let err = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
-        .expect_err("nested data-dependent loops are not yet schedulable");
+    let err = schedule(
+        &w.cdfg,
+        &w.library,
+        &w.allocation,
+        &Default::default(),
+        &cfg,
+    )
+    .expect_err("nested data-dependent loops are not yet schedulable");
     assert!(
         matches!(err, SchedError::StateLimit(_) | SchedError::Stuck(_)),
         "{err}"

@@ -33,7 +33,12 @@ fn gcd_full_pipeline_all_modes() {
     let spec = encs[2];
     // The paper's orderings: spec strictly beats the baseline on GCD;
     // single-path sits between (never better than multi-path).
-    assert!(spec.1 < ws.1, "speculative E.N.C. {} < baseline {}", spec.1, ws.1);
+    assert!(
+        spec.1 < ws.1,
+        "speculative E.N.C. {} < baseline {}",
+        spec.1,
+        ws.1
+    );
     assert!(spec.1 <= single.1 + 1e-9, "multi-path <= single-path");
     assert!(spec.2 <= ws.2, "best-case never worse (paper Table 1)");
     assert!(spec.3 <= ws.3, "worst-case never worse (paper Table 1)");
@@ -87,12 +92,18 @@ fn gcd_rename_edges_fold_the_loop() {
         &SchedConfig::new(Mode::Speculative),
     )
     .unwrap();
-    assert!(r.stats.folds > 0, "the while loop must fold into a steady state");
+    assert!(
+        r.stats.folds > 0,
+        "the while loop must fold into a steady state"
+    );
     let has_renames = r
         .stg
         .reachable()
         .iter()
         .flat_map(|s| r.stg.state(*s).transitions.iter())
         .any(|t| !t.renames.is_empty());
-    assert!(has_renames, "fold edges carry register relabelings (Example 10)");
+    assert!(
+        has_renames,
+        "fold edges carry register relabelings (Example 10)"
+    );
 }

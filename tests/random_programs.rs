@@ -93,8 +93,7 @@ fn random_programs_schedule_and_verify() {
                     .run(&inputs, &HashMap::new(), 100_000)
                     .unwrap_or_else(|e| panic!("seed {seed} / {mode} on ({x},{y}): {e}"));
                 let want =
-                    hls_lang::interp::run(&p, &inputs, &Default::default(), 1_000_000)
-                        .unwrap();
+                    hls_lang::interp::run(&p, &inputs, &Default::default(), 1_000_000).unwrap();
                 assert_eq!(
                     got.outputs, want.outputs,
                     "seed {seed} / {mode} on ({x},{y})\n{src}"

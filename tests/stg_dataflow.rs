@@ -7,12 +7,21 @@ use wavesched::{schedule, Mode, SchedConfig};
 
 #[test]
 fn every_workload_schedule_is_dataflow_sound() {
-    for w in workloads::all().into_iter().chain([workloads::dsp_clip(), workloads::fig4()]) {
+    for w in workloads::all()
+        .into_iter()
+        .chain([workloads::dsp_clip(), workloads::fig4()])
+    {
         for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
             let mut cfg = SchedConfig::new(mode);
             cfg.max_spec_depth = w.spec_depth;
-            let r = schedule(&w.cdfg, &w.library, &w.allocation, &Default::default(), &cfg)
-                .unwrap_or_else(|e| panic!("{} / {mode}: {e}", w.name));
+            let r = schedule(
+                &w.cdfg,
+                &w.library,
+                &w.allocation,
+                &Default::default(),
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("{} / {mode}: {e}", w.name));
             if let Err(errs) = stg::validate_dataflow(&r.stg) {
                 panic!(
                     "{} / {mode}: {} dataflow violations, first: {}",
