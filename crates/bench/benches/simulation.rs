@@ -48,6 +48,38 @@ fn bench_golden_models(h: &mut Harness) {
     });
 }
 
+/// Serial vs parallel trace fan-out over one fixed trace set — the
+/// `measure_with` worker sweep. Entries differ only in worker count, so
+/// the JSON directly shows the parallel-measure speedup.
+fn bench_parallel_measure(h: &mut Harness) {
+    let w = workloads::gcd();
+    let r = schedule(
+        &w.cdfg,
+        &w.library,
+        &w.allocation,
+        &Default::default(),
+        &SchedConfig::new(Mode::Speculative),
+    )
+    .expect("schedules");
+    let vectors = hls_sim::trace::positive_vectors(7, &["x", "y"], 24.0, 63, 64);
+    let mem: HashMap<String, Vec<i64>> = HashMap::new();
+    for workers in [1usize, 2, 4] {
+        let name = format!("sim/gcd_measure_{workers}w");
+        h.bench(&name, || {
+            hls_sim::measure_with(
+                black_box(&w.cdfg),
+                &r.stg,
+                &vectors,
+                &mem,
+                None,
+                100_000,
+                workers,
+            )
+            .mean_cycles
+        });
+    }
+}
+
 fn bench_markov(h: &mut Harness) {
     let w = workloads::test1();
     let mut cfg = SchedConfig::new(Mode::Speculative);
@@ -69,6 +101,7 @@ fn main() {
     let mut h = Harness::new("simulation");
     bench_stg_simulation(&mut h);
     bench_golden_models(&mut h);
+    bench_parallel_measure(&mut h);
     bench_markov(&mut h);
     h.finish().expect("bench JSON written");
 }

@@ -36,4 +36,5 @@ fn main() {
         r.sched.stats.folds,
         t.elapsed()
     );
+    println!("  bdd: {}", r.sched.stats.bdd_cache);
 }

@@ -19,35 +19,202 @@
 //!   iteration-index shift per loop — the state-equivalence test of
 //!   Fig. 12 step 11 / Example 10 that produces finite steady-state
 //!   schedules.
+//!
+//! # Instance interning
+//!
+//! Operation instances `(OpId, Iter)` are interned into copyable
+//! [`InstId`]s through a per-schedule [`InstTable`]. Everything keyed by
+//! an instance — value versions, obligations, resolution history — moves
+//! with `memcpy` instead of `Vec<u32>` clones. The cardinal rule:
+//! `InstId` *equality* is always content equality (that is what interning
+//! means), but `InstId` *order* is allocation order. Any place where
+//! relative order is semantically visible (signatures, fold renames,
+//! candidate tie-breaks) must compare resolved content via [`cmp_inst`] /
+//! [`cmp_key`] / [`cmp_src`], never raw ids.
 
 use cdfg::{InputId, LoopId, OpId, Value};
 use guards::{BddManager, Cond, Guard};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use spec_support::fxhash::{FxHashMap, FxHasher};
+use spec_support::interner::Interner;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hasher;
 
 /// Iteration indices aligned with an op's loop path.
 pub(crate) type Iter = Vec<u32>;
 
+/// Interned identity of one operation instance `(OpId, Iter)`.
+///
+/// Equality is content equality. The numeric order is *allocation*
+/// order — deterministic within a run, but not the content order the
+/// signature and fold machinery require; use [`cmp_inst`] there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct InstId(u32);
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Per-schedule interner for operation instances.
+///
+/// Built on [`Interner`] for the id → value side, with an additional
+/// open-addressing index probed by borrowed `(OpId, &[u32])` keys so the
+/// hot lookup path ([`InstTable::id`] on an already-interned instance)
+/// never allocates.
+#[derive(Debug, Clone)]
+pub(crate) struct InstTable {
+    values: Interner<(OpId, Iter)>,
+    index: Vec<u32>,
+    mask: usize,
+}
+
+impl Default for InstTable {
+    fn default() -> Self {
+        InstTable {
+            values: Interner::new(),
+            index: vec![EMPTY_SLOT; 64],
+            mask: 63,
+        }
+    }
+}
+
+impl InstTable {
+    fn hash_of(op: OpId, iter: &[u32]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_usize(op.index());
+        for &v in iter {
+            h.write_u32(v);
+        }
+        h.finish()
+    }
+
+    /// Interns `(op, iter)`, returning its stable dense id. Allocates
+    /// only on first sight of an instance.
+    pub fn id(&mut self, op: OpId, iter: &[u32]) -> InstId {
+        let mut i = Self::hash_of(op, iter) as usize & self.mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY_SLOT {
+                let id = self.values.intern((op, iter.to_vec()));
+                self.index[i] = id;
+                if (self.values.len() + 1) * 4 > self.index.len() * 3 {
+                    self.grow();
+                }
+                return InstId(id);
+            }
+            let (vop, viter) = self.values.resolve(slot);
+            if *vop == op && viter.as_slice() == iter {
+                return InstId(slot);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The id of `(op, iter)` if it has been interned; never inserts.
+    pub fn get(&self, op: OpId, iter: &[u32]) -> Option<InstId> {
+        let mut i = Self::hash_of(op, iter) as usize & self.mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            let (vop, viter) = self.values.resolve(slot);
+            if *vop == op && viter.as_slice() == iter {
+                return Some(InstId(slot));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.index.len() * 2;
+        self.mask = cap - 1;
+        self.index = vec![EMPTY_SLOT; cap];
+        for (id, (op, iter)) in self.values.iter() {
+            let mut i = Self::hash_of(*op, iter) as usize & self.mask;
+            while self.index[i] != EMPTY_SLOT {
+                i = (i + 1) & self.mask;
+            }
+            self.index[i] = id;
+        }
+    }
+
+    /// The operation of an instance.
+    pub fn op(&self, i: InstId) -> OpId {
+        self.values.resolve(i.0).0
+    }
+
+    /// The iteration vector of an instance.
+    pub fn iter_of(&self, i: InstId) -> &Iter {
+        &self.values.resolve(i.0).1
+    }
+
+    /// Both halves at once.
+    pub fn pair(&self, i: InstId) -> (OpId, &Iter) {
+        let (op, iter) = self.values.resolve(i.0);
+        (*op, iter)
+    }
+}
+
+/// Content (schedule-semantic) order of two instances: op id, then
+/// iteration vector lexicographically — the order the pre-interning
+/// `BTreeMap<(OpId, Iter), _>` keys had.
+pub(crate) fn cmp_inst(it: &InstTable, a: InstId, b: InstId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let (ao, ai) = it.pair(a);
+    let (bo, bi) = it.pair(b);
+    ao.cmp(&bo).then_with(|| ai.cmp(bi))
+}
+
+/// Content order of two keys: instance content, then version.
+pub(crate) fn cmp_key(it: &InstTable, a: &Key, b: &Key) -> Ordering {
+    cmp_inst(it, a.inst, b.inst).then_with(|| a.version.cmp(&b.version))
+}
+
+/// Content order of two value sources, matching the derived `Ord` of the
+/// pre-interning enum: constants, then inputs, then keys.
+pub(crate) fn cmp_src(it: &InstTable, a: &ValSrc, b: &ValSrc) -> Ordering {
+    match (a, b) {
+        (ValSrc::Const(x), ValSrc::Const(y)) => x.cmp(y),
+        (ValSrc::Const(_), _) => Ordering::Less,
+        (_, ValSrc::Const(_)) => Ordering::Greater,
+        (ValSrc::Input(x), ValSrc::Input(y)) => x.cmp(y),
+        (ValSrc::Input(_), _) => Ordering::Less,
+        (_, ValSrc::Input(_)) => Ordering::Greater,
+        (ValSrc::Key(x), ValSrc::Key(y)) => cmp_key(it, x, y),
+    }
+}
+
 /// Identity of one executed value version: operation instance + version.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Derived `Ord` is `(allocation id, version)` — correct for grouping a
+/// `BTreeMap` range scan by instance, wrong for anything content-ordered
+/// (use [`cmp_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) struct Key {
-    pub op: OpId,
-    pub iter: Iter,
+    pub inst: InstId,
     pub version: u32,
 }
 
 impl Key {
-    pub fn inst(op: OpId, iter: Iter, version: u32) -> Self {
-        Key { op, iter, version }
+    pub fn new(inst: InstId, version: u32) -> Self {
+        Key { inst, version }
+    }
+
+    /// Inclusive range bounds covering every version of `inst`.
+    pub fn version_range(inst: InstId) -> std::ops::RangeInclusive<Key> {
+        Key::new(inst, 0)..=Key::new(inst, u32::MAX)
     }
 }
 
 /// Identity of a program-level condition instance (version-independent:
 /// all versions of a conditional operation compute the same program
 /// value; exactly one is valid on any path).
-pub(crate) type CondInst = (OpId, Iter);
+pub(crate) type CondInst = InstId;
 
-/// Where an operand value comes from.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// Where an operand value comes from. `Copy` post-interning: operand
+/// vectors move by `memcpy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum ValSrc {
     Const(Value),
     Input(InputId),
@@ -58,8 +225,7 @@ pub(crate) enum ValSrc {
 /// operand versions — one entry of the paper's `Schedulable_operations`.
 #[derive(Debug, Clone)]
 pub(crate) struct Candidate {
-    pub op: OpId,
-    pub iter: Iter,
+    pub inst: InstId,
     /// Value operands, in port order.
     pub operands: Vec<ValSrc>,
     /// Memory-ordering tokens that must have been produced first
@@ -89,9 +255,13 @@ pub(crate) struct AvailInfo {
 /// Allocation of condition variables: one BDD variable per condition
 /// instance, allocated on first reference (which may precede the
 /// instance's execution — that is what speculation means).
+///
+/// First-reference order defines the BDD variable order and therefore
+/// guard structure and rendered guard strings; resolution call order is
+/// deterministic, which keeps runs byte-identical.
 #[derive(Debug, Default)]
 pub(crate) struct CondTable {
-    vars: HashMap<CondInst, Cond>,
+    vars: FxHashMap<CondInst, Cond>,
     by_var: Vec<CondInst>,
 }
 
@@ -101,13 +271,13 @@ impl CondTable {
             return c;
         }
         let c = Cond::new(u32::try_from(self.by_var.len()).expect("too many conditions"));
-        self.vars.insert(inst.clone(), c);
+        self.vars.insert(inst, c);
         self.by_var.push(inst);
         c
     }
 
-    pub fn inst_of(&self, c: Cond) -> &CondInst {
-        &self.by_var[c.index() as usize]
+    pub fn inst_of(&self, c: Cond) -> CondInst {
+        self.by_var[c.index() as usize]
     }
 }
 
@@ -121,10 +291,10 @@ pub(crate) struct Ctx {
     /// Instances whose consumption is decided: a version with a
     /// constant-true guard was issued, so no further version can be
     /// valid on this path.
-    pub done: BTreeSet<(OpId, Iter)>,
+    pub done: BTreeSet<InstId>,
     /// Outstanding side-effect obligations: instantiated effectful
     /// instances (memory writes, outputs) not yet validly executed.
-    pub obligations: BTreeMap<(OpId, Iter), Guard>,
+    pub obligations: BTreeMap<InstId, Guard>,
     /// Computed-but-unresolved condition versions: key, validity guard,
     /// states until the result is ready.
     pub pending_conds: Vec<(Key, Guard, u32)>,
@@ -176,7 +346,7 @@ impl Ctx {
     /// invalidated speculations are removed so they stop sourcing
     /// successors).
     pub fn cofactor(&mut self, mgr: &mut BddManager, var: Cond, value: bool, inst: CondInst) {
-        self.resolved.insert(inst.clone(), value);
+        self.resolved.insert(inst, value);
         self.avail.retain(|_, info| {
             info.guard = mgr.cofactor(info.guard, var, value);
             !info.guard.is_false()
@@ -185,7 +355,7 @@ impl Ctx {
             c.guard = mgr.cofactor(c.guard, var, value);
             let keep = !c.guard.is_false();
             if !keep && std::env::var_os("WAVESCHED_TRACE").is_some() {
-                eprintln!("drop cand {:?}@{:?} on {:?}={}", c.op, c.iter, inst, value);
+                eprintln!("drop cand {:?} on {:?}={}", c.inst, inst, value);
             }
             keep
         });
@@ -205,10 +375,11 @@ impl Ctx {
         &self,
         g: &cdfg::Cdfg,
         ct: &CondTable,
-        mgr: &BddManager,
+        mgr: &mut BddManager,
+        it: &InstTable,
     ) -> BTreeMap<LoopId, u32> {
         let mut mins: BTreeMap<LoopId, u32> = BTreeMap::new();
-        fn note(g: &cdfg::Cdfg, mins: &mut BTreeMap<LoopId, u32>, op: OpId, iter: &Iter) {
+        fn note(g: &cdfg::Cdfg, mins: &mut BTreeMap<LoopId, u32>, op: OpId, iter: &[u32]) {
             let path = g.op(op).loop_path();
             for (d, &l) in path.iter().enumerate() {
                 if d < iter.len() {
@@ -217,39 +388,65 @@ impl Ctx {
                 }
             }
         }
-        let note_guard = |gd: Guard, mins: &mut BTreeMap<LoopId, u32>| {
-            for c in mgr.support(gd) {
-                let (op, iter) = ct.inst_of(c).clone();
-                note(g, mins, op, &iter);
+        let mut scratch: Vec<Cond> = Vec::new();
+        fn note_guard(
+            gd: Guard,
+            g: &cdfg::Cdfg,
+            ct: &CondTable,
+            mgr: &mut BddManager,
+            it: &InstTable,
+            scratch: &mut Vec<Cond>,
+            mins: &mut BTreeMap<LoopId, u32>,
+        ) {
+            mgr.support_into(gd, scratch);
+            for &c in scratch.iter() {
+                let (op, iter) = it.pair(ct.inst_of(c));
+                note(g, mins, op, iter);
             }
-        };
+        }
         for (k, info) in &self.avail {
-            note(g, &mut mins, k.op, &k.iter);
-            note_guard(info.guard, &mut mins);
+            let (op, iter) = it.pair(k.inst);
+            note(g, &mut mins, op, iter);
+            note_guard(info.guard, g, ct, mgr, it, &mut scratch, &mut mins);
             for o in &info.operands {
                 if let ValSrc::Key(kk) = o {
-                    note(g, &mut mins, kk.op, &kk.iter);
+                    let (op, iter) = it.pair(kk.inst);
+                    note(g, &mut mins, op, iter);
                 }
             }
         }
         for c in &self.cands {
-            note(g, &mut mins, c.op, &c.iter);
-            note_guard(c.guard, &mut mins);
+            let (op, iter) = it.pair(c.inst);
+            note(g, &mut mins, op, iter);
+            note_guard(c.guard, g, ct, mgr, it, &mut scratch, &mut mins);
             for o in &c.operands {
                 if let ValSrc::Key(kk) = o {
-                    note(g, &mut mins, kk.op, &kk.iter);
+                    let (op, iter) = it.pair(kk.inst);
+                    note(g, &mut mins, op, iter);
                 }
             }
         }
-        for ((op, iter), gd) in &self.obligations {
-            note(g, &mut mins, *op, iter);
-            note_guard(*gd, &mut mins);
+        for (inst, gd) in &self.obligations {
+            let (op, iter) = it.pair(*inst);
+            note(g, &mut mins, op, iter);
+            note_guard(*gd, g, ct, mgr, it, &mut scratch, &mut mins);
         }
         for (k, gd, _) in &self.pending_conds {
-            note(g, &mut mins, k.op, &k.iter);
-            note_guard(*gd, &mut mins);
+            let (op, iter) = it.pair(k.inst);
+            note(g, &mut mins, op, iter);
+            note_guard(*gd, g, ct, mgr, it, &mut scratch, &mut mins);
         }
         mins
+    }
+
+    /// Keys of `avail` in content order — the canonical order the
+    /// signature renders and fold renames zip by. (The map's own order is
+    /// interner-allocation order, which differs between contexts that
+    /// discovered equivalent instances at different times.)
+    pub fn canonical_keys(&self, it: &InstTable) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.avail.keys().copied().collect();
+        keys.sort_by(|a, b| cmp_key(it, a, b));
+        keys
     }
 
     /// Canonical signature of the context modulo a uniform per-loop
@@ -262,13 +459,18 @@ impl Ctx {
     /// entries (resolution history below the live window) are rendered
     /// with signed indices, so they can only *prevent* a fold, never
     /// cause an unsound one.
+    ///
+    /// Every section is rendered in *content* order (see
+    /// [`Ctx::canonical_keys`]), so signature equality is set equality of
+    /// rendered entries regardless of interner allocation order.
     pub fn signature(
         &self,
         g: &cdfg::Cdfg,
         ct: &CondTable,
         mgr: &mut BddManager,
+        it: &InstTable,
     ) -> (String, BTreeMap<LoopId, u32>) {
-        let mut mins = self.collect_loop_mins(g, ct, mgr);
+        let mut mins = self.collect_loop_mins(g, ct, mgr, it);
         // Loops with no live indexed instance (typically: just exited)
         // still appear in resolution history, floors and horizons; shift
         // them by their floor so exit states of different iteration
@@ -280,7 +482,7 @@ impl Ctx {
                 *e = *f;
             }
         }
-        let shift_iter = |op: OpId, iter: &Iter| -> Vec<i64> {
+        let shift_iter = |op: OpId, iter: &[u32]| -> Vec<i64> {
             let path = g.op(op).loop_path();
             iter.iter()
                 .enumerate()
@@ -290,21 +492,23 @@ impl Ctx {
                 })
                 .collect()
         };
+        let avail_sorted = self.canonical_keys(it);
         // Canonical version renumbering: versions are ranked densely per
         // instance in issue order, so contexts that differ only in how
         // many retired versions preceded the live ones still fold.
-        let mut vrank: HashMap<Key, u32> = HashMap::new();
+        let mut vrank: FxHashMap<Key, u32> = FxHashMap::default();
         {
-            let mut counts: HashMap<(OpId, Iter), u32> = HashMap::new();
-            for k in self.avail.keys() {
-                let c = counts.entry((k.op, k.iter.clone())).or_insert(0);
-                vrank.insert(k.clone(), *c);
+            let mut counts: FxHashMap<InstId, u32> = FxHashMap::default();
+            for k in &avail_sorted {
+                let c = counts.entry(k.inst).or_insert(0);
+                vrank.insert(*k, *c);
                 *c += 1;
             }
         }
         let fmt_key = |k: &Key| -> String {
             let v = vrank.get(k).copied().unwrap_or(k.version);
-            format!("{}@{:?}v{}", k.op, shift_iter(k.op, &k.iter), v)
+            let (op, iter) = it.pair(k.inst);
+            format!("{}@{:?}v{}", op, shift_iter(op, iter), v)
         };
         let fmt_src = |s: &ValSrc| -> String {
             match s {
@@ -313,17 +517,17 @@ impl Ctx {
                 ValSrc::Key(k) => fmt_key(k),
             }
         };
-        let mut mgr2 = mgr.clone();
-        let mut fmt_guard = |gd: Guard| -> String {
-            mgr2.to_sop_string(gd, &|c: Cond| {
-                let (op, iter) = ct.inst_of(c).clone();
-                format!("{}@{:?}", op, shift_iter(op, &iter))
+        let fmt_guard = |gd: Guard| -> String {
+            mgr.to_sop_string(gd, &|c: Cond| {
+                let (op, iter) = it.pair(ct.inst_of(c));
+                format!("{}@{:?}", op, shift_iter(op, iter))
             })
         };
 
         let mut s = String::new();
         use std::fmt::Write as _;
-        for (k, info) in &self.avail {
+        for k in &avail_sorted {
+            let info = &self.avail[k];
             let _ = write!(
                 s,
                 "A{}:{}r{};",
@@ -351,10 +555,11 @@ impl Ctx {
                     .map(|t| t.as_ref().map(&fmt_key).unwrap_or_else(|| "-".into()))
                     .collect::<Vec<_>>()
                     .join(",");
+                let (op, iter) = it.pair(c.inst);
                 format!(
                     "C{}@{:?}({ops})[{toks}]:{};",
-                    c.op,
-                    shift_iter(c.op, &c.iter),
+                    op,
+                    shift_iter(op, iter),
                     fmt_guard(c.guard)
                 )
             })
@@ -363,33 +568,40 @@ impl Ctx {
         for c in cand_strs {
             s.push_str(&c);
         }
-        for ((op, iter), gd) in &self.obligations {
-            let _ = write!(s, "O{}@{:?}:{};", op, shift_iter(*op, iter), fmt_guard(*gd));
+        let mut obls: Vec<(InstId, Guard)> =
+            self.obligations.iter().map(|(i, g)| (*i, *g)).collect();
+        obls.sort_by(|a, b| cmp_inst(it, a.0, b.0));
+        for (inst, gd) in obls {
+            let (op, iter) = it.pair(inst);
+            let _ = write!(s, "O{}@{:?}:{};", op, shift_iter(op, iter), fmt_guard(gd));
         }
         for (k, gd, r) in &self.pending_conds {
             let _ = write!(s, "P{}:{}r{r};", fmt_key(k), fmt_guard(*gd));
         }
-        for ((op, iter), v) in &self.resolved {
-            let _ = write!(s, "R{}@{:?}={};", op, shift_iter(*op, iter), v);
+        let mut res: Vec<(InstId, bool)> = self.resolved.iter().map(|(i, v)| (*i, *v)).collect();
+        res.sort_by(|a, b| cmp_inst(it, a.0, b.0));
+        for (inst, v) in res {
+            let (op, iter) = it.pair(inst);
+            let _ = write!(s, "R{}@{:?}={};", op, shift_iter(op, iter), v);
         }
-        for (op, iter) in &self.done {
-            let _ = write!(s, "D{}@{:?};", op, shift_iter(*op, iter));
+        let mut done: Vec<InstId> = self.done.iter().copied().collect();
+        done.sort_by(|a, b| cmp_inst(it, *a, *b));
+        for inst in done {
+            let (op, iter) = it.pair(inst);
+            let _ = write!(s, "D{}@{:?};", op, shift_iter(op, iter));
         }
         for (class, busy) in &self.fu_busy {
             let _ = write!(s, "F{class}:{busy:?};");
         }
-        for ((l, pre), h) in &self.horizon {
-            // Shift the horizon by the loop's own min, and the outer
-            // prefix by each ancestor loop's min.
+        let shifted_prefix = |l: LoopId, pre: &Iter| -> Vec<i64> {
             let mut ancestors = Vec::new();
-            let mut cur = g.loop_info(*l).parent();
+            let mut cur = g.loop_info(l).parent();
             while let Some(a) = cur {
                 ancestors.push(a);
                 cur = g.loop_info(a).parent();
             }
             ancestors.reverse();
-            let pre_shifted: Vec<i64> = pre
-                .iter()
+            pre.iter()
                 .enumerate()
                 .map(|(d, &v)| {
                     let shift = ancestors
@@ -399,53 +611,22 @@ impl Ctx {
                         .unwrap_or(0);
                     i64::from(v) - i64::from(shift)
                 })
-                .collect();
+                .collect()
+        };
+        for ((l, pre), h) in &self.horizon {
+            // Shift the horizon by the loop's own min, and the outer
+            // prefix by each ancestor loop's min.
+            let pre_shifted = shifted_prefix(*l, pre);
             let hs = i64::from(*h) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "H{l}@{pre_shifted:?}:{hs};");
         }
         for ((l, pre), fl) in &self.floor {
-            let mut ancestors = Vec::new();
-            let mut cur = g.loop_info(*l).parent();
-            while let Some(a) = cur {
-                ancestors.push(a);
-                cur = g.loop_info(a).parent();
-            }
-            ancestors.reverse();
-            let pre_shifted: Vec<i64> = pre
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| {
-                    let shift = ancestors
-                        .get(d)
-                        .and_then(|a| mins.get(a))
-                        .copied()
-                        .unwrap_or(0);
-                    i64::from(v) - i64::from(shift)
-                })
-                .collect();
+            let pre_shifted = shifted_prefix(*l, pre);
             let fs = i64::from(*fl) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "L{l}@{pre_shifted:?}:{fs};");
         }
         for ((l, pre), wf) in &self.work_floor {
-            let mut ancestors = Vec::new();
-            let mut cur = g.loop_info(*l).parent();
-            while let Some(a) = cur {
-                ancestors.push(a);
-                cur = g.loop_info(a).parent();
-            }
-            ancestors.reverse();
-            let pre_shifted: Vec<i64> = pre
-                .iter()
-                .enumerate()
-                .map(|(d, &v)| {
-                    let shift = ancestors
-                        .get(d)
-                        .and_then(|a| mins.get(a))
-                        .copied()
-                        .unwrap_or(0);
-                    i64::from(v) - i64::from(shift)
-                })
-                .collect();
+            let pre_shifted = shifted_prefix(*l, pre);
             let ws_ = i64::from(*wf) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "W{l}@{pre_shifted:?}:{ws_};");
         }
@@ -483,21 +664,65 @@ mod tests {
     }
 
     #[test]
-    fn cond_table_allocates_once() {
-        let mut ct = CondTable::default();
-        let a = ct.var((OpId::new(1), vec![0]));
-        let b = ct.var((OpId::new(1), vec![0]));
-        assert_eq!(a, b);
-        let c = ct.var((OpId::new(1), vec![1]));
+    fn inst_table_interns_and_resolves() {
+        let mut it = InstTable::default();
+        let a = it.id(OpId::new(3), &[0, 1]);
+        let b = it.id(OpId::new(3), &[0, 1]);
+        assert_eq!(a, b, "same content, same id");
+        let c = it.id(OpId::new(3), &[0, 2]);
         assert_ne!(a, c);
-        assert_eq!(ct.inst_of(a), &(OpId::new(1), vec![0]));
+        assert_eq!(it.op(a), OpId::new(3));
+        assert_eq!(it.iter_of(c), &vec![0, 2]);
+        assert_eq!(it.get(OpId::new(3), &[0, 1]), Some(a));
+        assert_eq!(it.get(OpId::new(9), &[0]), None);
+        // Survives growth past the initial index capacity.
+        for i in 0..500u32 {
+            it.id(OpId::new(7), &[i]);
+        }
+        assert_eq!(it.get(OpId::new(3), &[0, 1]), Some(a));
+        assert_eq!(it.get(OpId::new(7), &[499]), it.get(OpId::new(7), &[499]));
+    }
+
+    #[test]
+    fn cmp_inst_is_content_order() {
+        let mut it = InstTable::default();
+        // Intern in reverse content order: allocation order ≠ content
+        // order, content comparison must still sort correctly.
+        let hi = it.id(OpId::new(5), &[3]);
+        let lo = it.id(OpId::new(5), &[1]);
+        let other = it.id(OpId::new(2), &[9]);
+        assert_eq!(cmp_inst(&it, lo, hi), Ordering::Less);
+        assert_eq!(cmp_inst(&it, other, lo), Ordering::Less, "op id first");
+        assert_eq!(cmp_inst(&it, hi, hi), Ordering::Equal);
+        let ka = Key::new(lo, 1);
+        let kb = Key::new(lo, 2);
+        assert_eq!(cmp_key(&it, &ka, &kb), Ordering::Less);
+        assert_eq!(
+            cmp_src(&it, &ValSrc::Const(7), &ValSrc::Key(ka)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn cond_table_allocates_once() {
+        let mut it = InstTable::default();
+        let mut ct = CondTable::default();
+        let i0 = it.id(OpId::new(1), &[0]);
+        let i1 = it.id(OpId::new(1), &[1]);
+        let a = ct.var(i0);
+        let b = ct.var(i0);
+        assert_eq!(a, b);
+        let c = ct.var(i1);
+        assert_ne!(a, c);
+        assert_eq!(ct.inst_of(a), i0);
     }
 
     #[test]
     fn tick_advances_timing() {
+        let mut it = InstTable::default();
         let mut ctx = Ctx::default();
         ctx.avail.insert(
-            Key::inst(OpId::new(0), vec![], 0),
+            Key::new(it.id(OpId::new(0), &[]), 0),
             AvailInfo {
                 guard: Guard::TRUE,
                 ready_in: 2,
@@ -516,13 +741,14 @@ mod tests {
     #[test]
     fn cofactor_drops_invalidated() {
         let mut mgr = BddManager::new();
+        let mut it = InstTable::default();
         let mut ct = CondTable::default();
-        let inst = (OpId::new(5), vec![0u32]);
-        let var = ct.var(inst.clone());
+        let inst = it.id(OpId::new(5), &[0]);
+        let var = ct.var(inst);
         let lit = mgr.literal(var, true);
         let mut ctx = Ctx::default();
         ctx.avail.insert(
-            Key::inst(OpId::new(1), vec![0], 0),
+            Key::new(it.id(OpId::new(1), &[0]), 0),
             AvailInfo {
                 guard: lit,
                 ready_in: 0,
@@ -531,8 +757,8 @@ mod tests {
             },
         );
         ctx.obligations
-            .insert((OpId::new(2), vec![0]), mgr.literal(var, false));
-        ctx.cofactor(&mut mgr, var, true, inst.clone());
+            .insert(it.id(OpId::new(2), &[0]), mgr.literal(var, false));
+        ctx.cofactor(&mut mgr, var, true, inst);
         assert_eq!(ctx.avail.len(), 1, "validated value survives");
         assert!(ctx.avail.values().next().unwrap().guard.is_true());
         assert!(ctx.obligations.is_empty(), "false-guard obligation dropped");
@@ -545,11 +771,12 @@ mod tests {
         let op = inc_op(&g);
         let mut mgr = BddManager::new();
         let ct = CondTable::default();
-        let mk = |iters: &[u32]| -> Ctx {
+        let mut it = InstTable::default();
+        let mk = |iters: &[u32], it: &mut InstTable| -> Ctx {
             let mut ctx = Ctx::default();
             for &i in iters {
                 ctx.avail.insert(
-                    Key::inst(op, vec![i], 0),
+                    Key::new(it.id(op, &[i]), 0),
                     AvailInfo {
                         guard: Guard::TRUE,
                         ready_in: 0,
@@ -561,16 +788,57 @@ mod tests {
             ctx
         };
         let lp = g.loops()[0].id();
-        let a = mk(&[3, 4]);
-        let b = mk(&[7, 8]);
-        let (sig_a, mins_a) = a.signature(&g, &ct, &mut mgr);
-        let (sig_b, mins_b) = b.signature(&g, &ct, &mut mgr);
+        let a = mk(&[3, 4], &mut it);
+        let b = mk(&[7, 8], &mut it);
+        let (sig_a, mins_a) = a.signature(&g, &ct, &mut mgr, &it);
+        let (sig_b, mins_b) = b.signature(&g, &ct, &mut mgr, &it);
         assert_eq!(sig_a, sig_b, "uniformly shifted contexts fold");
         assert_eq!(mins_a[&lp], 3);
         assert_eq!(mins_b[&lp], 7);
-        let c = mk(&[3, 5]);
-        let (sig_c, _) = c.signature(&g, &ct, &mut mgr);
+        let c = mk(&[3, 5], &mut it);
+        let (sig_c, _) = c.signature(&g, &ct, &mut mgr, &it);
         assert_ne!(sig_a, sig_c, "non-uniform spacing does not fold");
+    }
+
+    #[test]
+    fn signature_canonical_under_allocation_order() {
+        // Two contexts with identical content whose instances were
+        // interned in different orders must produce identical signatures.
+        let g = loop_cdfg();
+        let op = inc_op(&g);
+        let mut mgr = BddManager::new();
+        let ct = CondTable::default();
+        let mut it = InstTable::default();
+        // Context A interns [0] then [1]; context B reuses them but
+        // inserts in reverse — plus fresh instances interned later with
+        // *smaller* content indices than existing ones.
+        let add = |ctx: &mut Ctx, id: InstId| {
+            ctx.avail.insert(
+                Key::new(id, 0),
+                AvailInfo {
+                    guard: Guard::TRUE,
+                    ready_in: 0,
+                    depth: 0.0,
+                    operands: vec![],
+                },
+            );
+        };
+        let i1 = it.id(op, &[4]);
+        let i0 = it.id(op, &[3]); // allocated later, sorts earlier
+        let mut a = Ctx::default();
+        add(&mut a, i0);
+        add(&mut a, i1);
+        let mut b = Ctx::default();
+        add(&mut b, i1);
+        add(&mut b, i0);
+        let (sa, _) = a.signature(&g, &ct, &mut mgr, &it);
+        let (sb, _) = b.signature(&g, &ct, &mut mgr, &it);
+        assert_eq!(sa, sb);
+        assert_eq!(a.canonical_keys(&it), b.canonical_keys(&it));
+        // Canonical keys are content-sorted even though id order differs.
+        let ck = a.canonical_keys(&it);
+        assert_eq!(ck[0].inst, i0);
+        assert_eq!(ck[1].inst, i1);
     }
 
     #[test]
@@ -580,12 +848,14 @@ mod tests {
         let cond = g.loops()[0].cond();
         let mut mgr = BddManager::new();
         let mut ct = CondTable::default();
-        let var = ct.var((cond, vec![0]));
+        let mut it = InstTable::default();
+        let var = ct.var(it.id(cond, &[0]));
         let lit = mgr.literal(var, true);
+        let key = Key::new(it.id(op, &[0]), 0);
         let mk = |gd: Guard| -> Ctx {
             let mut ctx = Ctx::default();
             ctx.avail.insert(
-                Key::inst(op, vec![0], 0),
+                key,
                 AvailInfo {
                     guard: gd,
                     ready_in: 0,
@@ -595,8 +865,8 @@ mod tests {
             );
             ctx
         };
-        let (sa, _) = mk(Guard::TRUE).signature(&g, &ct, &mut mgr);
-        let (sb, _) = mk(lit).signature(&g, &ct, &mut mgr);
+        let (sa, _) = mk(Guard::TRUE).signature(&g, &ct, &mut mgr, &it);
+        let (sb, _) = mk(lit).signature(&g, &ct, &mut mgr, &it);
         assert_ne!(sa, sb);
     }
 }

@@ -2,16 +2,21 @@
 //! paper, generalized over the three scheduling policies.
 //!
 //! See the crate-level docs for the algorithm outline. The engine owns
-//! the BDD manager, the condition table, the growing STG, and the state
-//! signature index used for equivalence folding.
+//! the BDD manager, the condition table, the instance interner, the
+//! growing STG, and the state signature index used for equivalence
+//! folding.
 
-use crate::ctx::{AvailInfo, Candidate, CondInst, CondTable, Ctx, Iter, Key, ValSrc};
+use crate::ctx::{
+    cmp_src, AvailInfo, Candidate, CondInst, CondTable, Ctx, InstId, InstTable, Iter, Key, ValSrc,
+};
 use crate::resolve::{Res, Tables};
 use crate::{Mode, SchedConfig, SchedError};
 use cdfg::analysis::{self, BranchProbs};
 use cdfg::{Cdfg, LoopId, OpId, PortKind};
-use guards::{BddManager, CondProbs, Guard};
+use guards::{BddManager, Cond, CondProbs, Guard};
 use hls_resources::{classify, Allocation, Library};
+use spec_support::fxhash::{FxHashMap, FxHashSet};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
 
@@ -28,6 +33,8 @@ pub struct SchedStats {
     pub peak_ctx: usize,
     /// BDD nodes allocated over the run.
     pub bdd_nodes: usize,
+    /// BDD operation-cache behavior over the run (hit rates, evictions).
+    pub bdd_cache: guards::CacheStats,
 }
 
 /// A finished schedule: the STG plus run statistics.
@@ -66,6 +73,7 @@ struct Engine<'a> {
     tables: Tables,
     mgr: BddManager,
     ct: CondTable,
+    it: InstTable,
     cprobs: CondProbs,
     lambda: Vec<f64>,
     useful: Vec<bool>,
@@ -74,6 +82,16 @@ struct Engine<'a> {
     loops_needed: Vec<BTreeSet<LoopId>>,
     stg: Stg,
     sigs: HashMap<String, (StateId, Vec<Key>)>,
+    /// Criticality memo. λ(op) and the branch probabilities are fixed for
+    /// the whole run, so `(instance, guard)` fully determines Eq. 5 —
+    /// entries never invalidate.
+    crit_cache: FxHashMap<(InstId, Guard), f64>,
+    /// Shannon-expansion memo shared across criticality evaluations
+    /// (valid for the run: one manager, per-condition probabilities are
+    /// set once before first use and never changed).
+    prob_memo: FxHashMap<Guard, f64>,
+    /// Reusable support-set buffer for guard walks on hot paths.
+    supp_scratch: Vec<Cond>,
     stats: SchedStats,
 }
 
@@ -95,13 +113,27 @@ impl<'a> Engine<'a> {
             tables: Tables::new(g),
             mgr: BddManager::new(),
             ct: CondTable::default(),
+            it: InstTable::default(),
             cprobs: CondProbs::new(),
             lambda,
             useful: useful_ops(g),
             loops_needed: loops_needed(g),
             stg: Stg::new(g.name()),
             sigs: HashMap::new(),
+            crit_cache: FxHashMap::default(),
+            prob_memo: FxHashMap::default(),
+            supp_scratch: Vec::new(),
             stats: SchedStats::default(),
+        }
+    }
+
+    fn res(&mut self) -> Res<'_> {
+        Res {
+            g: self.g,
+            tables: &self.tables,
+            mgr: &mut self.mgr,
+            ct: &mut self.ct,
+            it: &mut self.it,
         }
     }
 
@@ -112,15 +144,10 @@ impl<'a> Engine<'a> {
         let effects = self.tables.effects.clone();
         for e in effects {
             let iter: Iter = vec![0; self.g.op(e).loop_path().len()];
-            let mut r = Res {
-                g: self.g,
-                tables: &self.tables,
-                mgr: &mut self.mgr,
-                ct: &mut self.ct,
-            };
-            let guard = r.ctrl_guard(&ctx0, e, &iter);
+            let guard = self.res().ctrl_guard(&ctx0, e, &iter);
             if !guard.is_false() {
-                ctx0.obligations.insert((e, iter), guard);
+                let inst = self.it.id(e, &iter);
+                ctx0.obligations.insert(inst, guard);
             }
         }
         self.sweep(&mut ctx0);
@@ -136,8 +163,8 @@ impl<'a> Engine<'a> {
             });
             return self.finish();
         }
-        let (sig, _) = ctx0.signature(self.g, &self.ct, &mut self.mgr);
-        let keys0: Vec<Key> = ctx0.avail.keys().cloned().collect();
+        let (sig, _) = ctx0.signature(self.g, &self.ct, &mut self.mgr, &self.it);
+        let keys0 = ctx0.canonical_keys(&self.it);
         self.sigs.insert(sig, (start, keys0));
         self.stats.states = 1;
 
@@ -167,7 +194,7 @@ impl<'a> Engine<'a> {
                 let mut set = BTreeSet::new();
                 for (when, _) in &branches {
                     for (k, _) in when {
-                        set.insert(key_to_inst(k));
+                        set.insert(key_to_inst(&self.it, k));
                     }
                 }
                 set.into_iter().collect()
@@ -189,8 +216,10 @@ impl<'a> Engine<'a> {
                     );
                 }
                 self.stats.peak_ctx = self.stats.peak_ctx.max(bctx.avail.len());
-                let when: Vec<(OpInst, bool)> =
-                    when.iter().map(|(k, v)| (key_to_inst(k), *v)).collect();
+                let when: Vec<(OpInst, bool)> = when
+                    .iter()
+                    .map(|(k, v)| (key_to_inst(&self.it, k), *v))
+                    .collect();
                 if bctx.obligations.is_empty() {
                     self.stg.state_mut(sid).transitions.push(Transition {
                         when,
@@ -199,9 +228,9 @@ impl<'a> Engine<'a> {
                     });
                     continue;
                 }
-                let (sig, _) = bctx.signature(self.g, &self.ct, &mut self.mgr);
+                let (sig, _) = bctx.signature(self.g, &self.ct, &mut self.mgr, &self.it);
                 if let Some((tid, old_keys)) = self.sigs.get(&sig) {
-                    let renames = fold_renames(&bctx, old_keys);
+                    let renames = fold_renames(&bctx, old_keys, &self.it);
                     let tid = *tid;
                     if tid == sid && when.is_empty() && self.stg.state(sid).ops.is_empty() {
                         return Err(SchedError::Stuck(format!(
@@ -230,7 +259,7 @@ impl<'a> Engine<'a> {
                     if self.stats.states > self.cfg.max_states {
                         return Err(SchedError::StateLimit(self.cfg.max_states));
                     }
-                    let keys: Vec<Key> = bctx.avail.keys().cloned().collect();
+                    let keys = bctx.canonical_keys(&self.it);
                     self.sigs.insert(sig, (nid, keys));
                     self.stg.state_mut(sid).transitions.push(Transition {
                         when,
@@ -246,6 +275,7 @@ impl<'a> Engine<'a> {
 
     fn finish(mut self) -> Result<ScheduleResult, SchedError> {
         self.stats.bdd_nodes = self.mgr.node_count();
+        self.stats.bdd_cache = self.mgr.cache_stats();
         debug_assert_eq!(self.stg.check(), Ok(()));
         #[cfg(debug_assertions)]
         if let Err(errs) = stg::validate_dataflow(&self.stg) {
@@ -265,7 +295,7 @@ impl<'a> Engine<'a> {
     /// candidate with the highest criticality (Eq. 5) until nothing more
     /// fits, sweeping for newly enabled successors after every issue.
     fn grow_state(&mut self, sid: StateId, ctx: &mut Ctx) -> Result<(), SchedError> {
-        let mut issued: BTreeSet<Key> = BTreeSet::new();
+        let mut issued: FxHashSet<Key> = FxHashSet::default();
         let mut class_use: BTreeMap<String, u32> = BTreeMap::new();
         loop {
             self.sweep(ctx);
@@ -280,7 +310,7 @@ impl<'a> Engine<'a> {
                     Some((bc, bi, _)) => {
                         crit > bc + 1e-12
                             || ((crit - bc).abs() <= 1e-12
-                                && cand_order(cand) < cand_order(&ctx.cands[bi]))
+                                && cand_cmp(&self.it, cand, &ctx.cands[bi]) == Ordering::Less)
                     }
                 };
                 if better {
@@ -290,10 +320,11 @@ impl<'a> Engine<'a> {
             let Some((_, idx, start)) = best else { break };
             if std::env::var_os("WAVESCHED_TRACE").is_some() {
                 let c = &ctx.cands[idx];
+                let (op, iter) = self.it.pair(c.inst);
                 eprintln!(
                     "issue {:?}@{:?} cands={} avail={} bdd={}",
-                    c.op,
-                    c.iter,
+                    op,
+                    iter,
                     ctx.cands.len(),
                     ctx.avail.len(),
                     self.mgr.node_count()
@@ -311,15 +342,21 @@ impl<'a> Engine<'a> {
                 if std::env::var_os("WAVESCHED_DEBUG").is_some() {
                     eprintln!("--- stuck ctx dump ---");
                     for (k, info) in &ctx.avail {
-                        eprintln!("avail {:?} guard={} ready={}", k, info.guard, info.ready_in);
-                    }
-                    for c in &ctx.cands {
+                        let (op, iter) = self.it.pair(k.inst);
                         eprintln!(
-                            "cand {:?}@{:?} ops={:?} toks={:?} guard={}",
-                            c.op, c.iter, c.operands, c.tokens, c.guard
+                            "avail {:?}@{:?}v{} guard={} ready={}",
+                            op, iter, k.version, info.guard, info.ready_in
                         );
                     }
-                    for ((op, iter), gd) in &ctx.obligations {
+                    for c in &ctx.cands {
+                        let (op, iter) = self.it.pair(c.inst);
+                        eprintln!(
+                            "cand {:?}@{:?} ops={:?} toks={:?} guard={}",
+                            op, iter, c.operands, c.tokens, c.guard
+                        );
+                    }
+                    for (inst, gd) in &ctx.obligations {
+                        let (op, iter) = self.it.pair(*inst);
                         eprintln!("oblig {:?}@{:?} guard={gd}", op, iter);
                     }
                     eprintln!(
@@ -327,10 +364,11 @@ impl<'a> Engine<'a> {
                         ctx.resolved, ctx.floor, ctx.horizon, ctx.done
                     );
                 }
-                let (op, iter) = ctx.obligations.keys().next().expect("nonempty");
+                let inst = ctx.obligations.keys().next().expect("nonempty");
+                let (op, iter) = self.it.pair(*inst);
                 return Err(SchedError::Stuck(format!(
                     "no progress towards {}{:?} — check the allocation",
-                    self.g.op(*op).name(),
+                    self.g.op(op).name(),
                     iter
                 )));
             }
@@ -344,10 +382,10 @@ impl<'a> Engine<'a> {
         &mut self,
         ctx: &Ctx,
         cand: &Candidate,
-        issued: &BTreeSet<Key>,
+        issued: &FxHashSet<Key>,
         class_use: &BTreeMap<String, u32>,
     ) -> Option<f64> {
-        let kind = self.g.op(cand.op).kind();
+        let kind = self.g.op(self.it.op(cand.inst)).kind();
         // Side effects never speculate (they commit architectural state).
         if kind.has_side_effect() && !cand.guard.is_true() {
             return None;
@@ -360,14 +398,14 @@ impl<'a> Engine<'a> {
             }
             Mode::SinglePath => {
                 if !cand.guard.is_true()
-                    && (self.mgr.support(cand.guard).len() > self.cfg.max_spec_depth
+                    && (self.mgr.support_len(cand.guard) > self.cfg.max_spec_depth
                         || !self.predicted_cube(cand.guard))
                 {
                     return None;
                 }
             }
             Mode::Speculative => {
-                if self.mgr.support(cand.guard).len() > self.cfg.max_spec_depth {
+                if self.mgr.support_len(cand.guard) > self.cfg.max_spec_depth {
                     return None;
                 }
             }
@@ -421,24 +459,39 @@ impl<'a> Engine<'a> {
     /// `true` if the guard is a cube whose every literal matches the
     /// profile-predicted outcome — the single-path speculation filter.
     fn predicted_cube(&mut self, guard: Guard) -> bool {
-        let support = self.mgr.support(guard);
+        let mut scratch = std::mem::take(&mut self.supp_scratch);
+        self.mgr.support_into(guard, &mut scratch);
         let mut predicted = Guard::TRUE;
-        for c in &support {
-            let (op, _) = self.ct.inst_of(*c).clone();
+        for &c in &scratch {
+            let op = self.it.op(self.ct.inst_of(c));
             let pol = self.probs.get(op) >= 0.5;
-            let lit = self.mgr.literal(*c, pol);
+            let lit = self.mgr.literal(c, pol);
             predicted = self.mgr.and(predicted, lit);
         }
+        self.supp_scratch = scratch;
         guard == predicted
     }
 
+    /// Eq. 5: `λ(op) · P(guard)`, memoized per `(instance, guard)` —
+    /// both factors are fixed for the run.
     fn criticality(&mut self, cand: &Candidate) -> f64 {
-        for c in self.mgr.support(cand.guard) {
-            let (op, _) = self.ct.inst_of(c).clone();
+        let memo_key = (cand.inst, cand.guard);
+        if let Some(&v) = self.crit_cache.get(&memo_key) {
+            return v;
+        }
+        let mut scratch = std::mem::take(&mut self.supp_scratch);
+        self.mgr.support_into(cand.guard, &mut scratch);
+        for &c in &scratch {
+            let op = self.it.op(self.ct.inst_of(c));
             self.cprobs.set(c, self.probs.get(op));
         }
-        let p = self.cprobs.probability(&self.mgr, cand.guard);
-        self.lambda[cand.op.index()] * p
+        self.supp_scratch = scratch;
+        let p = self
+            .cprobs
+            .probability_with(&self.mgr, cand.guard, &mut self.prob_memo);
+        let v = self.lambda[self.it.op(cand.inst).index()] * p;
+        self.crit_cache.insert(memo_key, v);
+        v
     }
 
     fn issue(
@@ -447,11 +500,12 @@ impl<'a> Engine<'a> {
         ctx: &mut Ctx,
         idx: usize,
         start: f64,
-        issued: &mut BTreeSet<Key>,
+        issued: &mut FxHashSet<Key>,
         class_use: &mut BTreeMap<String, u32>,
     ) {
         let cand = ctx.cands.remove(idx);
-        let kind = self.g.op(cand.op).kind();
+        let op = self.it.op(cand.inst);
+        let kind = self.g.op(op).kind();
         let spec = self.lib.spec_for(kind);
         let latency = spec.as_ref().map_or(0, |s| s.latency);
         let frac = spec.as_ref().map_or(0.0, |s| s.frac_delay);
@@ -462,17 +516,13 @@ impl<'a> Engine<'a> {
         // overwrite cannot be observed.
         let version = ctx
             .avail
-            .range(
-                Key::inst(cand.op, cand.iter.clone(), 0)
-                    ..=Key::inst(cand.op, cand.iter.clone(), u32::MAX),
-            )
-            .filter(|(k, _)| k.op == cand.op && k.iter == cand.iter)
+            .range(Key::version_range(cand.inst))
             .map(|(k, _)| k.version + 1)
             .max()
             .unwrap_or(0);
-        let key = Key::inst(cand.op, cand.iter.clone(), version);
+        let key = Key::new(cand.inst, version);
         ctx.avail.insert(
-            key.clone(),
+            key,
             AvailInfo {
                 guard: cand.guard,
                 ready_in: latency,
@@ -480,7 +530,7 @@ impl<'a> Engine<'a> {
                 operands: cand.operands.clone(),
             },
         );
-        issued.insert(key.clone());
+        issued.insert(key);
         if let Some(s) = &spec {
             let class_str = classify(kind).to_string();
             *class_use.entry(class_str.clone()).or_insert(0) += 1;
@@ -489,23 +539,22 @@ impl<'a> Engine<'a> {
             }
         }
         if kind.has_side_effect() {
-            ctx.obligations.remove(&(cand.op, cand.iter.clone()));
+            ctx.obligations.remove(&cand.inst);
         }
         if cand.guard.is_true() {
-            ctx.done.insert((cand.op, cand.iter.clone()));
-            ctx.cands
-                .retain(|c| !(c.op == cand.op && c.iter == cand.iter));
+            ctx.done.insert(cand.inst);
+            ctx.cands.retain(|c| c.inst != cand.inst);
         }
-        if self.g.op(cand.op).is_conditional() {
-            ctx.pending_conds
-                .push((key.clone(), cand.guard, latency.max(1)));
+        if self.g.op(op).is_conditional() {
+            ctx.pending_conds.push((key, cand.guard, latency.max(1)));
         }
         let guard_str = {
             let ct = &self.ct;
+            let it = &self.it;
             let g = self.g;
             self.mgr.to_sop_string(cand.guard, &|c| {
-                let (op, iter) = ct.inst_of(c);
-                let mut s = g.op(*op).name().to_string();
+                let (op, iter) = it.pair(ct.inst_of(c));
+                let mut s = g.op(op).name().to_string();
                 for i in iter {
                     s.push('_');
                     s.push_str(&i.to_string());
@@ -514,8 +563,12 @@ impl<'a> Engine<'a> {
             })
         };
         self.stg.state_mut(sid).ops.push(ScheduledOp {
-            inst: key_to_inst(&key),
-            operands: cand.operands.iter().map(valsrc_to_ref).collect(),
+            inst: key_to_inst(&self.it, &key),
+            operands: cand
+                .operands
+                .iter()
+                .map(|v| valsrc_to_ref(&self.it, v))
+                .collect(),
             latency,
             guard_str,
         });
@@ -534,20 +587,16 @@ impl<'a> Engine<'a> {
                 if !self.useful[op.id().index()] || op.kind().is_source() {
                     continue;
                 }
-                let iters = enumerate_iters(self.g, op.id(), &domain, ctx);
+                let iters = enumerate_iters(self.g, op.id(), &domain, ctx, &self.it);
                 for iter in iters {
-                    let mut r = Res {
-                        g: self.g,
-                        tables: &self.tables,
-                        mgr: &mut self.mgr,
-                        ct: &mut self.ct,
-                    };
-                    let n = r.gen_candidates(
+                    let (max_versions, max_spec_depth) =
+                        (self.cfg.max_versions, self.cfg.max_spec_depth);
+                    let n = self.res().gen_candidates(
                         ctx,
                         op.id(),
                         &iter,
-                        self.cfg.max_versions,
-                        self.cfg.max_spec_depth,
+                        max_versions,
+                        max_spec_depth,
                     );
                     if n > 0 {
                         if std::env::var_os("WAVESCHED_TRACE").is_some() {
@@ -572,12 +621,17 @@ impl<'a> Engine<'a> {
     /// two contexts ever fold.
     fn cap_lookahead(&mut self, ctx: &Ctx, domain: &mut BTreeMap<(LoopId, Iter), (u32, u32)>) {
         let mut oldest: BTreeMap<(LoopId, Iter), u32> = BTreeMap::new();
-        let note_guard = |g: Guard,
-                          mgr: &BddManager,
-                          ct: &CondTable,
-                          oldest: &mut BTreeMap<(LoopId, Iter), u32>| {
-            for c in mgr.support(g) {
-                let (op, iter) = ct.inst_of(c).clone();
+        let mut scratch = std::mem::take(&mut self.supp_scratch);
+        let guards: Vec<Guard> = ctx
+            .avail
+            .values()
+            .map(|i| i.guard)
+            .chain(ctx.cands.iter().map(|c| c.guard))
+            .collect();
+        for gd in guards {
+            self.mgr.support_into(gd, &mut scratch);
+            for &c in &scratch {
+                let (op, iter) = self.it.pair(self.ct.inst_of(c));
                 let path = self.g.op(op).loop_path();
                 for (d, &l) in path.iter().enumerate() {
                     if d < iter.len() {
@@ -586,13 +640,8 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-        };
-        for info in ctx.avail.values() {
-            note_guard(info.guard, &self.mgr, &self.ct, &mut oldest);
         }
-        for c in &ctx.cands {
-            note_guard(c.guard, &self.mgr, &self.ct, &mut oldest);
-        }
+        self.supp_scratch = scratch;
         let depth = self.cfg.max_spec_depth as u32;
         for (key, (lo, hi)) in domain.iter_mut() {
             if let Some(&old) = oldest.get(key) {
@@ -642,19 +691,18 @@ impl<'a> Engine<'a> {
                 }
                 let mut eiter: Iter = prefix.clone();
                 eiter.push(k);
-                eiter.extend(std::iter::repeat(0).take(epath.len() - d - 1));
-                if ctx.done.contains(&(e, eiter.clone())) {
+                eiter.extend(std::iter::repeat_n(0, epath.len() - d - 1));
+                if self
+                    .it
+                    .get(e, &eiter)
+                    .is_some_and(|i| ctx.done.contains(&i))
+                {
                     continue;
                 }
-                let mut r = Res {
-                    g: self.g,
-                    tables: &self.tables,
-                    mgr: &mut self.mgr,
-                    ct: &mut self.ct,
-                };
-                let guard = r.ctrl_guard(ctx, e, &eiter);
+                let guard = self.res().ctrl_guard(ctx, e, &eiter);
                 if !guard.is_false() {
-                    ctx.obligations.entry((e, eiter)).or_insert(guard);
+                    let einst = self.it.id(e, &eiter);
+                    ctx.obligations.entry(einst).or_insert(guard);
                 }
             }
         }
@@ -665,7 +713,7 @@ impl<'a> Engine<'a> {
     /// keep unrolling).
     fn iter_domain(&self, ctx: &Ctx) -> BTreeMap<(LoopId, Iter), (u32, u32)> {
         let mut dom: BTreeMap<(LoopId, Iter), (u32, u32)> = BTreeMap::new();
-        let mut note = |op: OpId, iter: &Iter, g: &Cdfg| {
+        fn note(dom: &mut BTreeMap<(LoopId, Iter), (u32, u32)>, g: &Cdfg, op: OpId, iter: &[u32]) {
             let path = g.op(op).loop_path();
             for (d, &l) in path.iter().enumerate() {
                 if d >= iter.len() {
@@ -675,15 +723,18 @@ impl<'a> Engine<'a> {
                 e.0 = e.0.min(iter[d]);
                 e.1 = e.1.max(iter[d]);
             }
-        };
+        }
         for k in ctx.avail.keys() {
-            note(k.op, &k.iter, self.g);
+            let (op, iter) = self.it.pair(k.inst);
+            note(&mut dom, self.g, op, iter);
         }
         for c in &ctx.cands {
-            note(c.op, &c.iter, self.g);
+            let (op, iter) = self.it.pair(c.inst);
+            note(&mut dom, self.g, op, iter);
         }
-        for (op, iter) in ctx.obligations.keys() {
-            note(*op, iter, self.g);
+        for inst in ctx.obligations.keys() {
+            let (op, iter) = self.it.pair(*inst);
+            note(&mut dom, self.g, op, iter);
         }
         for ((l, prefix), h) in &ctx.horizon {
             let e = dom.entry((*l, prefix.clone())).or_insert((u32::MAX, 0));
@@ -706,15 +757,15 @@ impl<'a> Engine<'a> {
     /// Promotes versions whose guard resolved to constant true:
     /// consumption of their instance is decided.
     fn promote_done(&mut self, ctx: &mut Ctx) {
-        let winners: Vec<(OpId, Iter)> = ctx
+        let winners: Vec<InstId> = ctx
             .avail
             .iter()
             .filter(|(_, info)| info.guard.is_true())
-            .map(|(k, _)| (k.op, k.iter.clone()))
+            .map(|(k, _)| k.inst)
             .collect();
         for w in winners {
-            if ctx.done.insert(w.clone()) {
-                ctx.cands.retain(|c| !(c.op == w.0 && c.iter == w.1));
+            if ctx.done.insert(w) {
+                ctx.cands.retain(|c| c.inst != w);
             }
         }
     }
@@ -724,19 +775,19 @@ impl<'a> Engine<'a> {
     /// per-iteration bookkeeping below the live window. Without this,
     /// steady-state loop contexts would never fold.
     fn gc(&mut self, ctx: &mut Ctx) {
-        let mut marks: BTreeSet<Key> = BTreeSet::new();
+        let mut marks: FxHashSet<Key> = FxHashSet::default();
         for c in &ctx.cands {
             for o in &c.operands {
                 if let ValSrc::Key(k) = o {
-                    marks.insert(k.clone());
+                    marks.insert(*k);
                 }
             }
             for t in c.tokens.iter().flatten() {
-                marks.insert(t.clone());
+                marks.insert(*t);
             }
         }
         for (k, _, _) in &ctx.pending_conds {
-            marks.insert(k.clone());
+            marks.insert(*k);
         }
         // Potential-consumer sweep: any not-yet-decided instance marks
         // every version that could still feed it.
@@ -745,17 +796,16 @@ impl<'a> Engine<'a> {
             if !self.useful[op.id().index()] || op.kind().is_source() {
                 continue;
             }
-            let iters = enumerate_iters(self.g, op.id(), &domain, ctx);
+            let iters = enumerate_iters(self.g, op.id(), &domain, ctx, &self.it);
             for iter in iters {
-                if ctx.done.contains(&(op.id(), iter.clone())) {
+                if self
+                    .it
+                    .get(op.id(), &iter)
+                    .is_some_and(|i| ctx.done.contains(&i))
+                {
                     continue;
                 }
-                let mut r = Res {
-                    g: self.g,
-                    tables: &self.tables,
-                    mgr: &mut self.mgr,
-                    ct: &mut self.ct,
-                };
+                let mut r = self.res();
                 let ctrl = r.ctrl_guard(ctx, op.id(), &iter);
                 if ctrl.is_false() {
                     continue;
@@ -788,40 +838,13 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        if std::env::var_os("WAVESCHED_TRACE2").is_some() {
-            let probe = Key::inst(OpId::new(13), vec![1], 0);
-            if ctx.avail.contains_key(&probe) && !marks.contains(&probe) {
-                eprintln!("GC DROPS op13@[1]!");
-                let domain = self.iter_domain(ctx);
-                eprintln!("  domain: {domain:?}");
-                eprintln!(
-                    "  done(5,[2,0])={}",
-                    ctx.done.contains(&(OpId::new(5), vec![2, 0]))
-                );
-                let mut r = Res {
-                    g: self.g,
-                    tables: &self.tables,
-                    mgr: &mut self.mgr,
-                    ct: &mut self.ct,
-                };
-                let cg = r.ctrl_guard(ctx, OpId::new(5), &vec![2, 0]);
-                eprintln!("  ctrl(5,[2,0])={cg}");
-                let pv = r.port_versions(
-                    ctx,
-                    &self.g.op(OpId::new(5)).ports()[1].clone(),
-                    OpId::new(5),
-                    &vec![2, 0],
-                );
-                eprintln!("  port2 versions: {pv:?}");
-            }
-        }
         ctx.avail.retain(|k, _| marks.contains(k));
         // Tombstone operand provenance that references collected keys:
         // keeping dead names would pin the iteration window open and
         // block steady-state folding. (An emptied list can never collide
         // with a real candidate's operand list, so re-issue dedup stays
         // sound.)
-        let live: BTreeSet<Key> = ctx.avail.keys().cloned().collect();
+        let live: FxHashSet<Key> = ctx.avail.keys().copied().collect();
         for info in ctx.avail.values_mut() {
             let dead = info
                 .operands
@@ -861,16 +884,10 @@ impl<'a> Engine<'a> {
                 for &m in &members {
                     let mut iter = prefix.clone();
                     iter.push(wf);
-                    if ctx.done.contains(&(m, iter.clone())) {
+                    if self.it.get(m, &iter).is_some_and(|i| ctx.done.contains(&i)) {
                         continue;
                     }
-                    let mut r = Res {
-                        g: self.g,
-                        tables: &self.tables,
-                        mgr: &mut self.mgr,
-                        ct: &mut self.ct,
-                    };
-                    if !r.ctrl_guard(ctx, m, &iter).is_false() {
+                    if !self.res().ctrl_guard(ctx, m, &iter).is_false() {
                         break 'advance;
                     }
                 }
@@ -885,7 +902,7 @@ impl<'a> Engine<'a> {
         // would otherwise block state folding. Pruning anything the
         // domain can still reach would allow re-issue — the thresholds
         // must be the very same bounds `sweep` enumerates with.
-        let mins = live_mins(self.g, ctx);
+        let mins = live_mins(self.g, ctx, &self.it);
         let domain = self.iter_domain(ctx);
         let below = |op: OpId, iter: &Iter| -> bool {
             let path = self.g.op(op).loop_path();
@@ -905,11 +922,13 @@ impl<'a> Engine<'a> {
         // stay until the loop's bookkeeping is dropped (exit-view
         // enumeration may still consult them).
         let loop_conds: BTreeSet<OpId> = self.tables.loop_of_cond.keys().copied().collect();
-        ctx.resolved.retain(|(op, iter), _| {
-            if loop_conds.contains(op) {
-                return !below(*op, iter);
+        let it = &self.it;
+        ctx.resolved.retain(|inst, _| {
+            let (op, iter) = it.pair(*inst);
+            if loop_conds.contains(&op) {
+                return !below(op, iter);
             }
-            let path = self.g.op(*op).loop_path();
+            let path = self.g.op(op).loop_path();
             for (d, &l) in path.iter().enumerate() {
                 if d >= iter.len() {
                     break;
@@ -920,18 +939,23 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            !below(*op, iter)
+            !below(op, iter)
         });
-        ctx.done.retain(|(op, iter)| !below(*op, iter));
+        ctx.done.retain(|inst| {
+            let (op, iter) = it.pair(*inst);
+            !below(op, iter)
+        });
         // Horizons/floors: keep any loop that a live instance indexes, or
         // that the fanin cone of a pending obligation / candidate can
         // still reference through exit views.
         let mut live_loops: BTreeSet<LoopId> = mins.keys().copied().collect();
-        for (op, _) in ctx.obligations.keys() {
+        for inst in ctx.obligations.keys() {
+            let op = self.it.op(*inst);
             live_loops.extend(self.loops_needed[op.index()].iter().copied());
         }
         for c in &ctx.cands {
-            live_loops.extend(self.loops_needed[c.op.index()].iter().copied());
+            let op = self.it.op(c.inst);
+            live_loops.extend(self.loops_needed[op.index()].iter().copied());
         }
         // A loop context whose outer-iteration prefix left the
         // enumeration domain can never be entered again; its horizons,
@@ -989,47 +1013,54 @@ impl<'a> Engine<'a> {
             return;
         };
         let (key, _, _) = ctx.pending_conds.remove(i);
-        let inst: CondInst = (key.op, key.iter.clone());
+        let inst: CondInst = key.inst;
         // Already resolved through another version on this path? Then
         // this version is redundant; drop it and continue.
         if ctx.resolved.contains_key(&inst) {
             self.part_rec(ctx, when, out);
             return;
         }
-        let var = self.ct.var(inst.clone());
+        let var = self.ct.var(inst);
         for val in [true, false] {
             let mut c2 = ctx.clone();
-            c2.cofactor(&mut self.mgr, var, val, inst.clone());
-            self.bump_floor(&mut c2, &inst, val);
+            c2.cofactor(&mut self.mgr, var, val, inst);
+            self.bump_floor(&mut c2, inst, val);
             let mut w2 = when.clone();
-            w2.push((key.clone(), val));
+            w2.push((key, val));
             self.part_rec(c2, w2, out);
         }
     }
 
     /// Advances the per-loop floor when the continue condition at the
     /// current floor resolves true, absorbing the resolution history.
-    fn bump_floor(&mut self, ctx: &mut Ctx, inst: &CondInst, val: bool) {
+    fn bump_floor(&mut self, ctx: &mut Ctx, inst: CondInst, val: bool) {
         if !val {
             return;
         }
-        let Some(&l) = self.tables.loop_of_cond.get(&inst.0) else {
+        let op = self.it.op(inst);
+        let Some(&l) = self.tables.loop_of_cond.get(&op) else {
             return;
         };
-        let d = self.g.op(inst.0).loop_path().len() - 1;
-        let prefix: Iter = inst.1[..d].to_vec();
-        let floor = ctx.floor.entry((l, prefix.clone())).or_insert(0);
+        let d = self.g.op(op).loop_path().len() - 1;
+        let prefix: Iter = self.it.iter_of(inst)[..d].to_vec();
+        let mut floor = ctx.floor.get(&(l, prefix.clone())).copied().unwrap_or(0);
+        let mut ci = prefix.clone();
+        ci.push(floor);
         loop {
-            let mut ci = prefix.clone();
-            ci.push(*floor);
-            let key: CondInst = (inst.0, ci);
+            ci[d] = floor;
+            // A condition instance never interned was never referenced,
+            // so it cannot be in the resolution history.
+            let Some(key) = self.it.get(op, &ci) else {
+                break;
+            };
             if ctx.resolved.get(&key) == Some(&true) {
                 ctx.resolved.remove(&key);
-                *floor += 1;
+                floor += 1;
             } else {
                 break;
             }
         }
+        ctx.floor.insert((l, prefix), floor);
     }
 }
 
@@ -1125,24 +1156,44 @@ fn loops_needed(g: &Cdfg) -> Vec<BTreeSet<LoopId>> {
 }
 
 /// Deterministic tie-break order for candidates of equal criticality:
-/// earlier iterations first, then op id, then operand signature.
-fn cand_order(c: &Candidate) -> (Iter, OpId, Vec<ValSrc>) {
-    (c.iter.clone(), c.op, c.operands.clone())
+/// earlier iterations first, then op id, then operand signature — all by
+/// resolved content, never by interner allocation order.
+fn cand_cmp(it: &InstTable, a: &Candidate, b: &Candidate) -> Ordering {
+    let (ao, ai) = it.pair(a.inst);
+    let (bo, bi) = it.pair(b.inst);
+    ai.cmp(bi).then_with(|| ao.cmp(&bo)).then_with(|| {
+        let mut x = a.operands.iter();
+        let mut y = b.operands.iter();
+        loop {
+            match (x.next(), y.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(p), Some(q)) => {
+                    let c = cmp_src(it, p, q);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+            }
+        }
+    })
 }
 
-fn key_to_inst(k: &Key) -> OpInst {
+fn key_to_inst(it: &InstTable, k: &Key) -> OpInst {
+    let (op, iter) = it.pair(k.inst);
     OpInst {
-        op: k.op,
-        iter: k.iter.clone(),
+        op,
+        iter: iter.clone(),
         version: k.version,
     }
 }
 
-fn valsrc_to_ref(v: &ValSrc) -> ValRef {
+fn valsrc_to_ref(it: &InstTable, v: &ValSrc) -> ValRef {
     match v {
         ValSrc::Const(c) => ValRef::Const(*c),
         ValSrc::Input(i) => ValRef::Input(*i),
-        ValSrc::Key(k) => ValRef::Inst(key_to_inst(k)),
+        ValSrc::Key(k) => ValRef::Inst(key_to_inst(it, k)),
     }
 }
 
@@ -1153,6 +1204,7 @@ fn enumerate_iters(
     op: OpId,
     domain: &BTreeMap<(LoopId, Iter), (u32, u32)>,
     ctx: &Ctx,
+    _it: &InstTable,
 ) -> Vec<Iter> {
     let path: Vec<LoopId> = g.op(op).loop_path().to_vec();
     let mut out: Vec<Iter> = vec![Vec::new()];
@@ -1188,9 +1240,9 @@ fn enumerate_iters(
 }
 
 /// Minimum live iteration index per loop, for bookkeeping pruning.
-fn live_mins(g: &Cdfg, ctx: &Ctx) -> BTreeMap<LoopId, u32> {
+fn live_mins(g: &Cdfg, ctx: &Ctx, it: &InstTable) -> BTreeMap<LoopId, u32> {
     let mut mins: BTreeMap<LoopId, u32> = BTreeMap::new();
-    let mut note = |op: OpId, iter: &Iter| {
+    let mut note = |op: OpId, iter: &[u32]| {
         let path = g.op(op).loop_path();
         for (d, &l) in path.iter().enumerate() {
             if d < iter.len() {
@@ -1200,16 +1252,20 @@ fn live_mins(g: &Cdfg, ctx: &Ctx) -> BTreeMap<LoopId, u32> {
         }
     };
     for k in ctx.avail.keys() {
-        note(k.op, &k.iter);
+        let (op, iter) = it.pair(k.inst);
+        note(op, iter);
     }
     for c in &ctx.cands {
-        note(c.op, &c.iter);
+        let (op, iter) = it.pair(c.inst);
+        note(op, iter);
     }
-    for (op, iter) in ctx.obligations.keys() {
-        note(*op, iter);
+    for inst in ctx.obligations.keys() {
+        let (op, iter) = it.pair(*inst);
+        note(op, iter);
     }
     for (k, _, _) in &ctx.pending_conds {
-        note(k.op, &k.iter);
+        let (op, iter) = it.pair(k.inst);
+        note(op, iter);
     }
     mins
 }
@@ -1217,17 +1273,18 @@ fn live_mins(g: &Cdfg, ctx: &Ctx) -> BTreeMap<LoopId, u32> {
 /// Register relabelings for a fold edge.
 ///
 /// Equal signatures guarantee the two contexts' value registries
-/// correspond positionally (the signature serializes `avail` in map
-/// order), so the rename map simply pairs the folding context's keys
-/// with the fold target's — realizing the variable relabelings of
-/// Example 10 without re-deriving shifts.
-fn fold_renames(ctx: &Ctx, old_keys: &[Key]) -> Vec<(OpInst, OpInst)> {
-    debug_assert_eq!(ctx.avail.len(), old_keys.len(), "signature collision");
-    ctx.avail
-        .keys()
+/// correspond positionally *in content order* (the signature serializes
+/// `avail` content-sorted), so the rename map simply pairs the folding
+/// context's canonical keys with the fold target's — realizing the
+/// variable relabelings of Example 10 without re-deriving shifts.
+fn fold_renames(ctx: &Ctx, old_keys: &[Key], it: &InstTable) -> Vec<(OpInst, OpInst)> {
+    let new_keys = ctx.canonical_keys(it);
+    debug_assert_eq!(new_keys.len(), old_keys.len(), "signature collision");
+    new_keys
+        .iter()
         .zip(old_keys)
         .filter(|(new, old)| new != old)
-        .map(|(new, old)| (key_to_inst(new), key_to_inst(old)))
+        .map(|(new, old)| (key_to_inst(it, new), key_to_inst(it, old)))
         .collect()
 }
 

@@ -16,17 +16,22 @@
 //! `∧_{k=j..i} c_k` — with already-resolved prefixes collapsing to
 //! constants through the context's resolution history and per-loop
 //! floors.
+//!
+//! Structural resolution works on `(OpId, &[u32])` content; instances are
+//! interned into [`InstId`]s only at the boundaries where they enter the
+//! context (candidate creation, literal allocation, version lookups), so
+//! the recursive walk itself allocates no instance bookkeeping.
 
-use crate::ctx::{Candidate, CondInst, Ctx, Iter, Key, ValSrc};
+use crate::ctx::{cmp_key, Candidate, Ctx, InstTable, Iter, Key, ValSrc};
 use cdfg::{Cdfg, CtrlKind, LoopId, OpId, OpKind, PortKind};
 use guards::{BddManager, Guard};
-use std::collections::HashMap;
+use spec_support::fxhash::FxHashMap;
 
 /// Immutable per-run scheduling tables shared by resolution and the
 /// engine.
 pub(crate) struct Tables {
     /// For each op that is the continue condition of a loop, that loop.
-    pub loop_of_cond: HashMap<OpId, LoopId>,
+    pub loop_of_cond: FxHashMap<OpId, LoopId>,
     /// Effectful ops (memory writes, outputs), for obligation
     /// instantiation.
     pub effects: Vec<OpId>,
@@ -34,7 +39,7 @@ pub(crate) struct Tables {
 
 impl Tables {
     pub fn new(g: &Cdfg) -> Self {
-        let mut loop_of_cond = HashMap::new();
+        let mut loop_of_cond = FxHashMap::default();
         for l in g.loops() {
             loop_of_cond.insert(l.cond(), l.id());
         }
@@ -57,33 +62,36 @@ pub(crate) struct Res<'a> {
     pub tables: &'a Tables,
     pub mgr: &'a mut BddManager,
     pub ct: &'a mut crate::ctx::CondTable,
+    pub it: &'a mut InstTable,
 }
 
 impl Res<'_> {
-    /// The literal "condition instance `inst` evaluates to `value`",
+    /// The literal "condition instance `(op, ci)` evaluates to `value`",
     /// collapsed to a constant when the context already knows the
     /// outcome (resolution history or the per-loop floor of
     /// iterations known to have continued).
-    pub fn lit(&mut self, ctx: &Ctx, inst: CondInst, value: bool) -> Guard {
-        if let Some(&v) = ctx.resolved.get(&inst) {
-            return if v == value {
-                Guard::TRUE
-            } else {
-                Guard::FALSE
-            };
+    pub fn lit(&mut self, ctx: &Ctx, op: OpId, ci: &[u32], value: bool) -> Guard {
+        if let Some(inst) = self.it.get(op, ci) {
+            if let Some(&v) = ctx.resolved.get(&inst) {
+                return if v == value {
+                    Guard::TRUE
+                } else {
+                    Guard::FALSE
+                };
+            }
         }
-        if let Some(&l) = self.tables.loop_of_cond.get(&inst.0) {
+        if let Some(&l) = self.tables.loop_of_cond.get(&op) {
             // A loop-continue condition below the floor is known true on
             // this path.
-            let d = self.g.op(inst.0).loop_path().len() - 1;
-            let prefix: Iter = inst.1[..d].to_vec();
-            let m = inst.1[d];
-            if let Some(&floor) = ctx.floor.get(&(l, prefix)) {
+            let d = self.g.op(op).loop_path().len() - 1;
+            let m = ci[d];
+            if let Some(&floor) = ctx.floor.get(&(l, ci[..d].to_vec())) {
                 if m < floor {
                     return if value { Guard::TRUE } else { Guard::FALSE };
                 }
             }
         }
+        let inst = self.it.id(op, ci);
         let var = self.ct.var(inst);
         self.mgr.literal(var, value)
     }
@@ -98,7 +106,7 @@ impl Res<'_> {
             match dep.kind {
                 CtrlKind::Branch => {
                     let clen = self.g.op(dep.cond).loop_path().len();
-                    let l = self.lit(ctx, (dep.cond, iter[..clen].to_vec()), dep.polarity);
+                    let l = self.lit(ctx, dep.cond, &iter[..clen], dep.polarity);
                     acc = self.mgr.and(acc, l);
                 }
                 CtrlKind::LoopBody(lp) => {
@@ -135,10 +143,10 @@ impl Res<'_> {
         range: std::ops::RangeInclusive<u32>,
     ) -> Guard {
         let clen = self.g.op(cond).loop_path().len();
+        let mut ci = iter[..clen].to_vec();
         for m in range {
-            let mut ci = iter[..clen].to_vec();
             ci[d] = m;
-            let l = self.lit(ctx, (cond, ci), true);
+            let l = self.lit(ctx, cond, &ci, true);
             acc = self.mgr.and(acc, l);
             if acc.is_false() {
                 break;
@@ -159,14 +167,15 @@ impl Res<'_> {
             OpKind::Const(v) => vec![(ValSrc::Const(v), Guard::TRUE)],
             OpKind::Input(i) => vec![(ValSrc::Input(i), Guard::TRUE)],
             _ => {
-                // Issued versions (real ops and pass-through copies).
+                // Issued versions (real ops and pass-through copies). An
+                // instance never interned has never been issued.
+                let Some(inst) = self.it.get(op, iter) else {
+                    return Vec::new();
+                };
                 let mut out = Vec::new();
-                for (k, info) in ctx
-                    .avail
-                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-                {
-                    if k.op == op && &k.iter == iter && !info.guard.is_false() {
-                        out.push((ValSrc::Key(k.clone()), info.guard));
+                for (k, info) in ctx.avail.range(Key::version_range(inst)) {
+                    if !info.guard.is_false() {
+                        out.push((ValSrc::Key(*k), info.guard));
                     }
                 }
                 out
@@ -207,9 +216,8 @@ impl Res<'_> {
                             )
                         }
                         _ => {
-                            let inst: CondInst = (sop, siter.clone());
                             for (side, pol) in [(&ports[1], true), (&ports[2], false)] {
-                                let lit = self.lit(ctx, inst.clone(), pol);
+                                let lit = self.lit(ctx, sop, &siter, pol);
                                 let gsl = self.mgr.and(gs, lit);
                                 if gsl.is_false() {
                                     continue;
@@ -272,7 +280,7 @@ impl Res<'_> {
                 let exit0 = {
                     let mut ci = base.clone();
                     ci.push(0);
-                    self.lit(ctx, (cond, ci), false)
+                    self.lit(ctx, cond, &ci, false)
                 };
                 if !exit0.is_false() {
                     for (x, gx) in self.value_versions(ctx, init, &init_iter) {
@@ -298,7 +306,7 @@ impl Res<'_> {
                     // guard carries no continuation history.
                     let mut ci = base.clone();
                     ci.push(j + 1);
-                    let mut exit_g = self.lit(ctx, (cond, ci), false);
+                    let mut exit_g = self.lit(ctx, cond, &ci, false);
                     exit_g = self.chain(ctx, exit_g, cond, &si, base.len(), 0..=j);
                     if exit_g.is_false() {
                         continue;
@@ -356,7 +364,7 @@ impl Res<'_> {
                 let exit0 = {
                     let mut ci = base.clone();
                     ci.push(0);
-                    self.lit(ctx, (cond, ci), false)
+                    self.lit(ctx, cond, &ci, false)
                 };
                 if !exit0.is_false() {
                     for (i, gi) in self.inst_of(ctx, init, &base[..ilen.min(base.len())].to_vec()) {
@@ -372,7 +380,7 @@ impl Res<'_> {
                     si.push(j);
                     let mut ci = base.clone();
                     ci.push(j + 1);
-                    let mut exit_g = self.lit(ctx, (cond, ci), false);
+                    let mut exit_g = self.lit(ctx, cond, &ci, false);
                     exit_g = self.chain(ctx, exit_g, cond, &si, base.len(), 0..=j);
                     if exit_g.is_false() {
                         continue;
@@ -414,9 +422,8 @@ impl Res<'_> {
                             }
                         }
                         _ => {
-                            let inst: CondInst = (sop, siter.clone());
                             for (side, pol) in [(&ports[1], true), (&ports[2], false)] {
-                                let lit = self.lit(ctx, inst.clone(), pol);
+                                let lit = self.lit(ctx, sop, &siter, pol);
                                 let gsl = self.mgr.and(gs, lit);
                                 if gsl.is_false() {
                                     continue;
@@ -509,25 +516,35 @@ impl Res<'_> {
             return Ok(None);
         }
         // Executed?
-        for (k, _) in ctx
-            .avail
-            .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-        {
-            if k.op == op && &k.iter == iter {
-                return Ok(Some(k.clone()));
+        if let Some(inst) = self.it.get(op, iter) {
+            if let Some((k, _)) = ctx.avail.range(Key::version_range(inst)).next() {
+                return Ok(Some(*k));
             }
         }
         // Dead?
         let ctrl = self.ctrl_guard(ctx, op, iter);
         if ctrl.is_false() {
             // The predecessor never executes here; ordering falls back to
-            // *its* predecessors.
+            // *its* predecessors. The "latest" predecessor token is the
+            // content-wise maximum (allocation order would be
+            // nondeterministic across equivalent contexts).
             let ports: Vec<PortKind> = self.g.op(op).order_deps().to_vec();
             let mut best: Option<Key> = None;
             for p in ports {
                 match self.token(ctx, &p, op, iter)? {
                     None => {}
-                    Some(k) => best = Some(best.map_or(k.clone(), |b| b.max(k))),
+                    Some(k) => {
+                        best = Some(match best {
+                            None => k,
+                            Some(b) => {
+                                if cmp_key(self.it, &b, &k) == std::cmp::Ordering::Less {
+                                    k
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
                 }
             }
             return Ok(best);
@@ -552,7 +569,8 @@ impl Res<'_> {
         if kind.is_source() {
             return 0;
         }
-        if ctx.done.contains(&(op, iter.clone())) {
+        let inst = self.it.id(op, iter);
+        if ctx.done.contains(&inst) {
             return 0;
         }
         let ctrl = self.ctrl_guard(ctx, op, iter);
@@ -567,14 +585,14 @@ impl Res<'_> {
             let mut added = 0;
             for (v, gv) in versions {
                 let guard = self.mgr.and(ctrl, gv);
-                if guard.is_false() || self.mgr.support(guard).len() > max_depth {
+                if guard.is_false() || self.mgr.support_len(guard) > max_depth {
                     continue;
                 }
                 let operands = vec![v];
                 if let Some(c) = ctx
                     .cands
                     .iter_mut()
-                    .find(|c| c.op == op && c.iter == *iter && c.operands == operands)
+                    .find(|c| c.inst == inst && c.operands == operands)
                 {
                     let widened = self.mgr.or(c.guard, guard);
                     if widened != c.guard {
@@ -585,26 +603,18 @@ impl Res<'_> {
                 }
                 let issued = ctx
                     .avail
-                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-                    .any(|(k, info)| k.op == op && &k.iter == iter && info.operands == operands);
+                    .range(Key::version_range(inst))
+                    .any(|(_, info)| info.operands == operands);
                 if issued {
                     continue;
                 }
-                let live = ctx
-                    .avail
-                    .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-                    .count()
-                    + ctx
-                        .cands
-                        .iter()
-                        .filter(|c| c.op == op && &c.iter == iter)
-                        .count();
+                let live = ctx.avail.range(Key::version_range(inst)).count()
+                    + ctx.cands.iter().filter(|c| c.inst == inst).count();
                 if live >= max_versions {
                     break;
                 }
                 ctx.cands.push(Candidate {
-                    op,
-                    iter: iter.clone(),
+                    inst,
                     operands,
                     tokens: Vec::new(),
                     guard,
@@ -638,7 +648,7 @@ impl Res<'_> {
                         continue;
                     }
                     let mut o = ops_so_far.clone();
-                    o.push(v.clone());
+                    o.push(*v);
                     next.push((o, g));
                 }
             }
@@ -650,22 +660,15 @@ impl Res<'_> {
                 combos.truncate(64);
             }
         }
-        let existing = ctx
-            .avail
-            .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-            .count()
-            + ctx
-                .cands
-                .iter()
-                .filter(|c| c.op == op && &c.iter == iter)
-                .count();
+        let existing = ctx.avail.range(Key::version_range(inst)).count()
+            + ctx.cands.iter().filter(|c| c.inst == inst).count();
         let mut added = 0;
         for (operands, guard) in combos {
             // Bounding candidate creation (not just issue) by the
             // speculation depth keeps the unrolling horizon finite:
             // deeper iterations' continuation chains exceed the depth
             // until earlier conditions resolve.
-            if self.mgr.support(guard).len() > max_depth {
+            if self.mgr.support_len(guard) > max_depth {
                 continue;
             }
             // An existing candidate with the same operand choice absorbs
@@ -674,7 +677,7 @@ impl Res<'_> {
             if let Some(c) = ctx
                 .cands
                 .iter_mut()
-                .find(|c| c.op == op && c.iter == *iter && c.operands == operands)
+                .find(|c| c.inst == inst && c.operands == operands)
             {
                 let widened = self.mgr.or(c.guard, guard);
                 if widened != c.guard {
@@ -687,8 +690,8 @@ impl Res<'_> {
             // re-execute.
             let issued = ctx
                 .avail
-                .range(Key::inst(op, iter.clone(), 0)..=Key::inst(op, iter.clone(), u32::MAX))
-                .any(|(k, info)| k.op == op && &k.iter == iter && info.operands == operands);
+                .range(Key::version_range(inst))
+                .any(|(_, info)| info.operands == operands);
             if issued {
                 continue;
             }
@@ -696,8 +699,7 @@ impl Res<'_> {
                 break;
             }
             ctx.cands.push(Candidate {
-                op,
-                iter: iter.clone(),
+                inst,
                 operands,
                 tokens: tokens.clone(),
                 guard,
@@ -778,27 +780,45 @@ mod tests {
         (g, cont, branch, sum)
     }
 
-    fn res_env(g: &Cdfg) -> (Tables, BddManager, CondTable) {
-        (Tables::new(g), BddManager::new(), CondTable::default())
+    fn res_env(g: &Cdfg) -> (Tables, BddManager, CondTable, InstTable) {
+        (
+            Tables::new(g),
+            BddManager::new(),
+            CondTable::default(),
+            InstTable::default(),
+        )
+    }
+
+    /// Resolves a support set back to `(op, iter)` content for
+    /// assertions.
+    fn support_insts(r: &mut Res<'_>, gd: Guard) -> Vec<(OpId, Iter)> {
+        r.mgr
+            .support(gd)
+            .iter()
+            .map(|c| {
+                let (op, iter) = r.it.pair(r.ct.inst_of(*c));
+                (op, iter.clone())
+            })
+            .collect()
     }
 
     #[test]
     fn ctrl_guard_builds_full_continuation_chain() {
         let (g, cont, _branch, sum) = branchy_loop();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let ctx = Ctx::default();
         let mut r = Res {
             g: &g,
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         // The branch-gated add at iteration 2 is conditioned on
         // c_cont@0 ∧ c_cont@1 ∧ c_cont@2 ∧ c_branch@2.
         let guard = r.ctrl_guard(&ctx, sum, &vec![2]);
-        let support = r.mgr.support(guard);
-        assert_eq!(support.len(), 4);
-        let insts: Vec<CondInst> = support.iter().map(|c| r.ct.inst_of(*c).clone()).collect();
+        let insts = support_insts(&mut r, guard);
+        assert_eq!(insts.len(), 4);
         for k in 0..=2u32 {
             assert!(insts.contains(&(cont, vec![k])), "chain misses c@{k}");
         }
@@ -807,22 +827,24 @@ mod tests {
     #[test]
     fn resolved_and_floor_collapse_literals() {
         let (g, cont, _branch, sum) = branchy_loop();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
         ctx.floor.insert((lp, vec![]), 2); // c@0, c@1 known true
-        ctx.resolved.insert((cont, vec![2]), true);
+        let c2 = it.id(cont, &[2]);
+        ctx.resolved.insert(c2, true);
         let mut r = Res {
             g: &g,
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         let guard = r.ctrl_guard(&ctx, sum, &vec![2]);
         // Only the branch literal remains.
         assert_eq!(r.mgr.support(guard).len(), 1);
         // And a resolved-false continuation kills the instance outright.
-        ctx.resolved.insert((cont, vec![2]), false);
+        ctx.resolved.insert(c2, false);
         let dead = r.ctrl_guard(&ctx, sum, &vec![2]);
         assert!(dead.is_false());
     }
@@ -838,12 +860,13 @@ mod tests {
             .find(|o| o.kind() == OpKind::Select)
             .unwrap()
             .id();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         // Issue only the true-side add at iteration 0 so one side of the
         // select has a value; the steering Gt is entirely unscheduled.
+        let sum0 = it.id(sum, &[0]);
         ctx.avail.insert(
-            crate::ctx::Key::inst(sum, vec![0], 0),
+            Key::new(sum0, 0),
             crate::ctx::AvailInfo {
                 guard: Guard::TRUE,
                 ready_in: 0,
@@ -856,6 +879,7 @@ mod tests {
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         let versions = r.copy_versions(&ctx, sel, &vec![0]);
         // Two versions: the issued add under c_branch@0, and the carried
@@ -863,17 +887,12 @@ mod tests {
         assert_eq!(versions.len(), 2);
         let has_key = versions
             .iter()
-            .any(|(v, gd)| matches!(v, ValSrc::Key(k) if k.op == sum) && !gd.is_true());
+            .any(|(v, gd)| matches!(v, ValSrc::Key(k) if k.inst == sum0) && !gd.is_true());
         let has_const = versions.iter().any(|(v, _)| matches!(v, ValSrc::Const(0)));
         assert!(has_key && has_const);
         // Each version's guard mentions the unscheduled steering cond.
         for (_, gd) in &versions {
-            let insts: Vec<CondInst> = r
-                .mgr
-                .support(*gd)
-                .iter()
-                .map(|c| r.ct.inst_of(*c).clone())
-                .collect();
+            let insts = support_insts(&mut r, *gd);
             assert!(insts.contains(&(branch, vec![0])));
         }
     }
@@ -887,7 +906,7 @@ mod tests {
             .find(|o| o.kind() == OpKind::Pass)
             .unwrap()
             .id();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
         ctx.horizon.insert((lp, vec![]), 1);
@@ -896,32 +915,29 @@ mod tests {
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         // With nothing issued, only the exit-at-0 (init) version exists.
         let versions = r.copy_versions(&ctx, exit_pass, &vec![]);
         assert_eq!(versions.len(), 1);
-        let (v, gd) = &versions[0];
+        let (v, gd) = versions[0];
         assert!(matches!(v, ValSrc::Const(0)), "init value");
         // Guarded on ¬c@0.
-        let insts: Vec<CondInst> = r
-            .mgr
-            .support(*gd)
-            .iter()
-            .map(|c| r.ct.inst_of(*c).clone())
-            .collect();
+        let insts = support_insts(&mut r, gd);
         assert_eq!(insts, vec![(cont, vec![0])]);
     }
 
     #[test]
     fn gen_candidates_dedups_and_widens() {
         let (g, cont, _branch, _sum) = branchy_loop();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         let mut r = Res {
             g: &g,
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         let n1 = r.gen_candidates(&mut ctx, cont, &vec![0], 4, 4);
         assert_eq!(n1, 1, "the iteration-0 continue test is schedulable");
@@ -939,20 +955,22 @@ mod tests {
             .find(|o| o.kind() == OpKind::Inc)
             .unwrap()
             .id();
-        let (tables, mut mgr, mut ct) = res_env(&g);
+        let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
+        let inc1 = it.id(inc, &[1]);
         let mut r = Res {
             g: &g,
             tables: &tables,
             mgr: &mut mgr,
             ct: &mut ct,
+            it: &mut it,
         };
         // Iteration 0 increments are within any cap...
         assert_eq!(r.gen_candidates(&mut ctx, inc, &vec![0], 4, 1), 1);
         // ...but iteration 2 needs a 3-condition chain plus operand
         // availability; even with values present, a cap of 1 blocks it.
         ctx.avail.insert(
-            crate::ctx::Key::inst(inc, vec![1], 0),
+            Key::new(inc1, 0),
             crate::ctx::AvailInfo {
                 guard: Guard::TRUE,
                 ready_in: 0,

@@ -10,8 +10,21 @@
 //! and only if they are `==`.
 
 use crate::{Assignment, Cond};
-use std::collections::HashMap;
+use spec_support::fxhash::FxHashMap;
 use std::fmt;
+
+/// Capacity bound for the `ite` memo cache, in entries.
+///
+/// The cache is cleared wholesale when an insert would exceed this bound
+/// (counted in [`CacheStats::evictions`]). Clearing — rather than LRU —
+/// keeps the hot path to a single hash probe; hash-consing means the
+/// recursion re-fills the cache at the cost of one descent. At ~28 bytes
+/// per entry this bounds the cache near 8 MiB.
+const ITE_CACHE_CAP: usize = 1 << 18;
+
+/// Capacity bound for the cofactor memo cache, in entries (~1.5 MiB).
+/// Cofactors are cheaper to recompute than `ite`, so the bound is tighter.
+const COFACTOR_CACHE_CAP: usize = 1 << 16;
 
 /// A guard: a Boolean function over [`Cond`] variables, represented as a
 /// node in a [`BddManager`].
@@ -96,8 +109,69 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<Node, Guard>,
-    ite_cache: HashMap<(Guard, Guard, Guard), Guard>,
+    unique: FxHashMap<Node, Guard>,
+    ite_cache: FxHashMap<(Guard, Guard, Guard), Guard>,
+    cofactor_cache: FxHashMap<(Guard, u32, bool), Guard>,
+    ite_cap: usize,
+    cofactor_cap: usize,
+    stats: Counters,
+    // Scratch for `support_into`/`support_len`: per-node visit stamps with
+    // a generation counter (O(1) logical clear) and a reusable out buffer.
+    visit_stamp: Vec<u32>,
+    stamp_gen: u32,
+    support_scratch: Vec<Cond>,
+}
+
+/// Raw hit/miss/eviction counters (monotonically increasing).
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    ite_hits: u64,
+    ite_misses: u64,
+    cofactor_hits: u64,
+    cofactor_misses: u64,
+    evictions: u64,
+}
+
+/// A snapshot of the manager's operation-cache behavior, exposed for the
+/// bench binaries (`probe`) so cache tuning is observable, not guessed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `ite` memo-cache hits.
+    pub ite_hits: u64,
+    /// `ite` memo-cache misses (each one ran a Shannon expansion step).
+    pub ite_misses: u64,
+    /// Cofactor memo-cache hits.
+    pub cofactor_hits: u64,
+    /// Cofactor memo-cache misses.
+    pub cofactor_misses: u64,
+    /// Number of wholesale cache clears forced by the capacity bounds.
+    pub evictions: u64,
+    /// Live (non-terminal) nodes in the manager at snapshot time.
+    pub node_count: usize,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rate = |h: u64, m: u64| {
+            if h + m == 0 {
+                0.0
+            } else {
+                100.0 * h as f64 / (h + m) as f64
+            }
+        };
+        write!(
+            f,
+            "nodes={} ite={}h/{}m ({:.1}%) cofactor={}h/{}m ({:.1}%) evictions={}",
+            self.node_count,
+            self.ite_hits,
+            self.ite_misses,
+            rate(self.ite_hits, self.ite_misses),
+            self.cofactor_hits,
+            self.cofactor_misses,
+            rate(self.cofactor_hits, self.cofactor_misses),
+            self.evictions
+        )
+    }
 }
 
 impl Default for BddManager {
@@ -109,6 +183,13 @@ impl Default for BddManager {
 impl BddManager {
     /// Creates an empty manager containing only the terminal guards.
     pub fn new() -> Self {
+        Self::with_cache_capacity(ITE_CACHE_CAP, COFACTOR_CACHE_CAP)
+    }
+
+    /// Creates a manager with explicit cache-capacity bounds. Exposed so
+    /// tests and benches can exercise the eviction path with tiny caches;
+    /// production code should use [`BddManager::new`].
+    pub fn with_cache_capacity(ite_cap: usize, cofactor_cap: usize) -> Self {
         // Slots 0 and 1 are terminals; give them sentinel nodes that are
         // never inspected (terminal checks short-circuit on the handle).
         let sentinel = Node {
@@ -118,8 +199,27 @@ impl BddManager {
         };
         BddManager {
             nodes: vec![sentinel, sentinel],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            cofactor_cache: FxHashMap::default(),
+            ite_cap: ite_cap.max(1),
+            cofactor_cap: cofactor_cap.max(1),
+            stats: Counters::default(),
+            visit_stamp: Vec::new(),
+            stamp_gen: 0,
+            support_scratch: Vec::new(),
+        }
+    }
+
+    /// Snapshot of cache hit/miss/eviction counters and the node count.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            ite_hits: self.stats.ite_hits,
+            ite_misses: self.stats.ite_misses,
+            cofactor_hits: self.stats.cofactor_hits,
+            cofactor_misses: self.stats.cofactor_misses,
+            evictions: self.stats.evictions,
+            node_count: self.node_count(),
         }
     }
 
@@ -182,8 +282,10 @@ impl BddManager {
         }
         let key = (f, g, h);
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.stats.ite_hits += 1;
             return r;
         }
+        self.stats.ite_misses += 1;
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f_lo, f_hi) = self.cofactors_at(f, top);
         let (g_lo, g_hi) = self.cofactors_at(g, top);
@@ -191,6 +293,13 @@ impl BddManager {
         let lo = self.ite(f_lo, g_lo, h_lo);
         let hi = self.ite(f_hi, g_hi, h_hi);
         let r = self.mk(top, lo, hi);
+        if self.ite_cache.len() >= self.ite_cap {
+            // Bounded memoization: clear wholesale rather than evicting
+            // entry-by-entry. Correctness is unaffected (the cache only
+            // short-circuits recomputation); the recursion repopulates it.
+            self.ite_cache.clear();
+            self.stats.evictions += 1;
+        }
         self.ite_cache.insert(key, r);
         r
     }
@@ -271,12 +380,31 @@ impl BddManager {
             let branch = if value { n.hi } else { n.lo };
             return branch;
         }
+        // Only the recursive case is memoized; the cases above are a
+        // constant-time inspection already.
+        let key = (g, var, value);
+        if let Some(&r) = self.cofactor_cache.get(&key) {
+            self.stats.cofactor_hits += 1;
+            return r;
+        }
+        self.stats.cofactor_misses += 1;
         let lo = self.cofactor(n.lo, cond, value);
         let hi = self.cofactor(n.hi, cond, value);
-        self.mk(n.var, lo, hi)
+        let r = self.mk(n.var, lo, hi);
+        if self.cofactor_cache.len() >= self.cofactor_cap {
+            self.cofactor_cache.clear();
+            self.stats.evictions += 1;
+        }
+        self.cofactor_cache.insert(key, r);
+        r
     }
 
     /// Restricts `g` by every pair in `assignment`.
+    ///
+    /// Each step goes through the memoized [`BddManager::cofactor`], so
+    /// repeated restriction of the same guards (the common pattern in
+    /// Step 2 of Sec. 4.3, where every context guard is restricted by the
+    /// same resolution) costs one cache probe per condition.
     pub fn restrict(&mut self, g: Guard, assignment: &Assignment) -> Guard {
         let mut acc = g;
         for (cond, value) in assignment.iter() {
@@ -300,11 +428,17 @@ impl BddManager {
         (Cond::new(n.var), n.lo, n.hi)
     }
 
-    /// The set of conditions the guard depends on, in variable order.
+    /// The set of conditions the guard depends on, sorted by BDD variable
+    /// order (i.e. ascending [`Cond`] index).
+    ///
+    /// Allocates a fresh vector and visited-set per call; hot paths that
+    /// only need the conditions (or their count) should prefer
+    /// [`BddManager::support_into`] / [`BddManager::support_len`], which
+    /// reuse manager-owned scratch buffers.
     pub fn support(&self, g: Guard) -> Vec<Cond> {
         let mut vars = Vec::new();
         let mut stack = vec![g];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = spec_support::fxhash::FxHashSet::default();
         while let Some(x) = stack.pop() {
             if x.is_const() || !seen.insert(x) {
                 continue;
@@ -317,6 +451,60 @@ impl BddManager {
         vars.sort_unstable();
         vars.dedup();
         vars.into_iter().map(Cond::new).collect()
+    }
+
+    /// Collects the guard's support into `out` (cleared first), sorted by
+    /// BDD variable order — identical contents to [`BddManager::support`]
+    /// but allocation-free after warmup: visited nodes are tracked in a
+    /// manager-owned stamp array with a generation counter, so "clearing"
+    /// the visited set is a single increment.
+    pub fn support_into(&mut self, g: Guard, out: &mut Vec<Cond>) {
+        out.clear();
+        if g.is_const() {
+            return;
+        }
+        if self.visit_stamp.len() < self.nodes.len() {
+            self.visit_stamp.resize(self.nodes.len(), 0);
+        }
+        self.stamp_gen = match self.stamp_gen.checked_add(1) {
+            Some(gen) => gen,
+            None => {
+                // Generation counter wrapped: physically reset the stamps
+                // once every 2^32 calls so stale marks can never alias.
+                self.visit_stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        let gen = self.stamp_gen;
+        let mut work = vec![g];
+        while let Some(x) = work.pop() {
+            if x.is_const() {
+                continue;
+            }
+            let slot = &mut self.visit_stamp[x.idx()];
+            if *slot == gen {
+                continue;
+            }
+            *slot = gen;
+            let n = self.nodes[x.idx()];
+            out.push(Cond::new(n.var));
+            work.push(n.lo);
+            work.push(n.hi);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Number of distinct conditions in the guard's support, computed
+    /// without returning them. Uses the same stamp scratch as
+    /// [`BddManager::support_into`]; the manager-owned buffer makes the
+    /// common `support(g).len() > depth` check allocation-free.
+    pub fn support_len(&mut self, g: Guard) -> usize {
+        let mut buf = std::mem::take(&mut self.support_scratch);
+        self.support_into(g, &mut buf);
+        let n = buf.len();
+        self.support_scratch = buf;
+        n
     }
 
     /// Evaluates the guard under a total assignment.
@@ -359,9 +547,17 @@ impl BddManager {
                 "enumeration set must cover the guard's support (missing {c})"
             );
         }
+        // Enumerate in BDD variable order regardless of how the caller
+        // ordered `over`: partition enumeration is then order-deterministic
+        // by construction (same guard + same condition set ⇒ same successor
+        // order), and cofactoring in variable order peels the top variable
+        // first, which keeps intermediate guards small.
+        let mut sorted: Vec<Cond> = over.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
         let mut out = Vec::new();
         let mut partial = Assignment::new();
-        self.enumerate(g, over, 0, &mut partial, &mut out);
+        self.enumerate(g, &sorted, 0, &mut partial, &mut out);
         out
     }
 
@@ -391,7 +587,11 @@ impl BddManager {
 
     /// Renders `g` as a sum of product terms using a naming function for
     /// conditions, e.g. `c1_0.!c2_0 + !c1_0`.
-    pub fn to_sop_string(&mut self, g: Guard, name: &dyn Fn(Cond) -> String) -> String {
+    ///
+    /// Pure read: takes `&self`, so callers formatting guards inside
+    /// otherwise-immutable contexts (state signatures, trace output) need
+    /// not clone the manager.
+    pub fn to_sop_string(&self, g: Guard, name: &dyn Fn(Cond) -> String) -> String {
         if g.is_false() {
             return "0".to_string();
         }
@@ -641,6 +841,109 @@ mod tests {
         let any = m.or_all([a, b, c]);
         let ab = m.or(a, b);
         assert_eq!(any, m.or(ab, c));
+    }
+
+    #[test]
+    fn support_into_matches_support_and_is_sorted() {
+        let mut m = BddManager::new();
+        let lits: Vec<Guard> = [7u32, 2, 9, 0, 5]
+            .iter()
+            .map(|&i| m.literal(Cond::new(i), i % 2 == 0))
+            .collect();
+        let g = m.and_all(lits.clone());
+        let d = {
+            let x = m.or(lits[0], lits[3]);
+            m.xor(x, g)
+        };
+        let mut buf = Vec::new();
+        for guard in [g, d, Guard::TRUE, Guard::FALSE, lits[2]] {
+            m.support_into(guard, &mut buf);
+            assert_eq!(buf, m.support(guard), "support_into mismatch");
+            assert!(buf.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            assert_eq!(m.support_len(guard), buf.len());
+        }
+    }
+
+    #[test]
+    fn support_scratch_survives_interleaved_growth() {
+        // Nodes created between support_into calls must not confuse the
+        // stamp array.
+        let mut m = BddManager::new();
+        let a = m.literal(Cond::new(0), true);
+        let mut buf = Vec::new();
+        m.support_into(a, &mut buf);
+        assert_eq!(buf, vec![Cond::new(0)]);
+        let b = m.literal(Cond::new(1), true);
+        let ab = m.and(a, b);
+        m.support_into(ab, &mut buf);
+        assert_eq!(buf, vec![Cond::new(0), Cond::new(1)]);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let (mut m, a, b, _) = mgr3();
+        let base = m.cache_stats();
+        assert_eq!(base.ite_hits, 0);
+        let ab1 = m.and(a, b);
+        let after_miss = m.cache_stats();
+        assert!(after_miss.ite_misses > base.ite_misses);
+        let ab2 = m.and(a, b);
+        assert_eq!(ab1, ab2);
+        let after_hit = m.cache_stats();
+        assert!(after_hit.ite_hits > after_miss.ite_hits);
+        assert_eq!(after_hit.node_count, m.node_count());
+        // Memoized cofactor: second identical call is a pure cache hit.
+        let c = m.literal(Cond::new(2), true);
+        let abc = m.and(ab1, c);
+        let r1 = m.cofactor(abc, Cond::new(1), true);
+        let cof_after_first = m.cache_stats();
+        let r2 = m.cofactor(abc, Cond::new(1), true);
+        assert_eq!(r1, r2);
+        let cof_after_second = m.cache_stats();
+        assert!(cof_after_second.cofactor_hits > cof_after_first.cofactor_hits);
+        assert_eq!(
+            cof_after_second.cofactor_misses,
+            cof_after_first.cofactor_misses
+        );
+    }
+
+    #[test]
+    fn bounded_caches_evict_and_stay_correct() {
+        // A manager with a 1-entry ite cache must still produce canonical
+        // results, and must record evictions.
+        let mut m = BddManager::with_cache_capacity(1, 1);
+        let lits: Vec<Guard> = (0..8).map(|i| m.literal(Cond::new(i), true)).collect();
+        let mut acc = Guard::TRUE;
+        for &l in &lits {
+            acc = m.and(acc, l);
+        }
+        let mut reference = BddManager::new();
+        let rlits: Vec<Guard> = (0..8)
+            .map(|i| reference.literal(Cond::new(i), true))
+            .collect();
+        let racc = reference.and_all(rlits);
+        assert_eq!(m.support(acc), reference.support(racc));
+        assert!(m.cache_stats().evictions > 0, "tiny cache never evicted");
+        // Eviction must not corrupt canonicity: same AND again is equal.
+        let again = m.and_all(lits);
+        assert_eq!(again, acc);
+    }
+
+    #[test]
+    fn assignments_order_independent_of_over_order() {
+        let (mut m, a, b, _) = mgr3();
+        let g = m.or(a, b);
+        let fwd = m.assignments(g, &[Cond::new(0), Cond::new(1)]);
+        let rev = m.assignments(g, &[Cond::new(1), Cond::new(0)]);
+        assert_eq!(fwd, rev, "enumeration order must be canonical");
+    }
+
+    #[test]
+    fn cache_stats_display_is_readable() {
+        let (mut m, a, b, _) = mgr3();
+        let _ = m.and(a, b);
+        let s = m.cache_stats().to_string();
+        assert!(s.contains("nodes=") && s.contains("ite=") && s.contains("evictions="));
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod cube;
 mod prob;
 
 pub use assign::Assignment;
-pub use bdd::{BddManager, Guard};
+pub use bdd::{BddManager, CacheStats, Guard};
 pub use cube::{Cube, Literal};
 pub use prob::CondProbs;
 

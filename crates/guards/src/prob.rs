@@ -9,6 +9,7 @@
 //! `P(g) = P(c)·P(g|c=1) + (1−P(c))·P(g|c=0)`.
 
 use crate::{BddManager, Cond, Guard};
+use spec_support::fxhash::FxHashMap;
 use std::collections::HashMap;
 
 /// Per-condition probabilities of evaluating to true.
@@ -91,12 +92,35 @@ impl CondProbs {
 
     /// Exact probability that `g` evaluates to true, assuming independent
     /// conditions, computed by Shannon expansion over the BDD.
+    ///
+    /// Builds and discards a fresh memo table per call. Hot paths that
+    /// evaluate many (often structurally overlapping) guards against the
+    /// same probability table should use
+    /// [`CondProbs::probability_with`] and keep the memo alive.
     pub fn probability(&self, m: &BddManager, g: Guard) -> f64 {
-        let mut memo: HashMap<Guard, f64> = HashMap::new();
-        self.prob_rec(m, g, &mut memo)
+        let mut memo: FxHashMap<Guard, f64> = FxHashMap::default();
+        self.probability_with(m, g, &mut memo)
     }
 
-    fn prob_rec(&self, m: &BddManager, g: Guard, memo: &mut HashMap<Guard, f64>) -> f64 {
+    /// Like [`CondProbs::probability`], but memoizes into a caller-owned
+    /// table that can persist across calls.
+    ///
+    /// The memo is keyed by guard handle only, so it is valid exactly as
+    /// long as (a) all guards come from the same [`BddManager`] and (b) no
+    /// probability in this table changes between calls. Callers that
+    /// mutate probabilities mid-run must clear the memo themselves —
+    /// the scheduler's per-run branch probabilities are fixed, so its memo
+    /// never invalidates.
+    pub fn probability_with(
+        &self,
+        m: &BddManager,
+        g: Guard,
+        memo: &mut FxHashMap<Guard, f64>,
+    ) -> f64 {
+        self.prob_rec(m, g, memo)
+    }
+
+    fn prob_rec(&self, m: &BddManager, g: Guard, memo: &mut FxHashMap<Guard, f64>) -> f64 {
         if g.is_false() {
             return 0.0;
         }

@@ -74,6 +74,10 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
+            // Indexed on purpose: `a[row]` and `a[col]` are two rows of
+            // one matrix, so an iterator over either would conflict with
+            // the other borrow.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }

@@ -25,9 +25,46 @@ pub struct Measurement {
     pub mismatches: usize,
 }
 
+/// Per-trace record: what one simulated run contributes to the
+/// aggregate, independent of every other trace.
+#[derive(Debug, Clone, Copy)]
+struct TraceResult {
+    cycles: u64,
+    mismatch: bool,
+}
+
+/// Runs one input vector through the simulator (and, when `golden` is
+/// given, the behavioral interpreter) and reports its contribution.
+fn run_trace(
+    sim: &StgSimulator<'_>,
+    vec: &[(String, Value)],
+    mem_init: &HashMap<String, Vec<Value>>,
+    golden: Option<&hls_lang::Program>,
+    cycle_limit: u64,
+) -> TraceResult {
+    let inputs: Vec<(&str, Value)> = vec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let out = sim
+        .run(&inputs, mem_init, cycle_limit)
+        .unwrap_or_else(|e| panic!("simulation failed on {vec:?}: {e}"));
+    let mut mismatch = false;
+    if let Some(p) = golden {
+        let image = hls_lang::MemImage {
+            contents: mem_init.clone(),
+        };
+        let want = hls_lang::interp::run(p, &inputs, &image, 10_000_000)
+            .unwrap_or_else(|e| panic!("golden model failed on {vec:?}: {e}"));
+        mismatch = want.outputs != out.outputs || want.mems != out.mems;
+    }
+    TraceResult {
+        cycles: out.cycles,
+        mismatch,
+    }
+}
+
 /// Simulates `stg` over every input vector, checking outputs and final
 /// memories against the `hls-lang` interpreter when `golden` is
-/// provided.
+/// provided. Equivalent to [`measure_with`] at the parallelism set by
+/// the `SPEC_MEASURE_THREADS` environment variable (default: serial).
 ///
 /// # Panics
 ///
@@ -42,38 +79,79 @@ pub fn measure(
     golden: Option<&hls_lang::Program>,
     cycle_limit: u64,
 ) -> Measurement {
-    let sim = StgSimulator::new(g, stg);
+    let parallelism = std::env::var("SPEC_MEASURE_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    measure_with(g, stg, vectors, mem_init, golden, cycle_limit, parallelism)
+}
+
+/// [`measure`] with an explicit worker count.
+///
+/// Traces are independent (each run owns its simulator state and the
+/// memory image is cloned per trace), so they fan out over
+/// `parallelism` scoped threads in contiguous chunks. Per-trace results
+/// are merged **in trace order**, so the result — including the
+/// floating-point mean — is bit-identical to the serial run for any
+/// worker count. `parallelism <= 1` takes the serial path with a single
+/// shared simulator; a worker panic (simulation or golden-model
+/// failure) propagates when the scope joins.
+///
+/// # Panics
+///
+/// As [`measure`].
+pub fn measure_with(
+    g: &Cdfg,
+    stg: &Stg,
+    vectors: &[Vec<(String, Value)>],
+    mem_init: &HashMap<String, Vec<Value>>,
+    golden: Option<&hls_lang::Program>,
+    cycle_limit: u64,
+    parallelism: usize,
+) -> Measurement {
+    let per_trace: Vec<TraceResult> = if parallelism <= 1 || vectors.len() <= 1 {
+        let sim = StgSimulator::new(g, stg);
+        vectors
+            .iter()
+            .map(|vec| run_trace(&sim, vec, mem_init, golden, cycle_limit))
+            .collect()
+    } else {
+        let chunk = vectors.len().div_ceil(parallelism);
+        let mut slots: Vec<Option<TraceResult>> = vec![None; vectors.len()];
+        std::thread::scope(|s| {
+            for (vs, out) in vectors.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let sim = StgSimulator::new(g, stg);
+                    for (vec, slot) in vs.iter().zip(out.iter_mut()) {
+                        *slot = Some(run_trace(&sim, vec, mem_init, golden, cycle_limit));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every chunk worker fills its slots"))
+            .collect()
+    };
+    assert!(
+        !per_trace.is_empty(),
+        "measure() needs at least one input vector"
+    );
     let mut total: u64 = 0;
     let mut best = u64::MAX;
     let mut worst = 0u64;
     let mut mismatches = 0usize;
-    let mut runs = 0usize;
-    for vec in vectors {
-        let inputs: Vec<(&str, Value)> = vec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        let out = sim
-            .run(&inputs, mem_init, cycle_limit)
-            .unwrap_or_else(|e| panic!("simulation failed on {vec:?}: {e}"));
-        total += out.cycles;
-        best = best.min(out.cycles);
-        worst = worst.max(out.cycles);
-        runs += 1;
-        if let Some(p) = golden {
-            let image = hls_lang::MemImage {
-                contents: mem_init.clone(),
-            };
-            let want = hls_lang::interp::run(p, &inputs, &image, 10_000_000)
-                .unwrap_or_else(|e| panic!("golden model failed on {vec:?}: {e}"));
-            if want.outputs != out.outputs || want.mems != out.mems {
-                mismatches += 1;
-            }
-        }
+    for t in &per_trace {
+        total += t.cycles;
+        best = best.min(t.cycles);
+        worst = worst.max(t.cycles);
+        mismatches += t.mismatch as usize;
     }
-    assert!(runs > 0, "measure() needs at least one input vector");
     Measurement {
-        mean_cycles: total as f64 / runs as f64,
+        mean_cycles: total as f64 / per_trace.len() as f64,
         best_cycles: best,
         worst_cycles: worst,
-        runs,
+        runs: per_trace.len(),
         mismatches,
     }
 }

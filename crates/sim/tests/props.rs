@@ -1,0 +1,92 @@
+//! Property-based tests for the measurement harness: parallel
+//! `measure_with` must be bit-identical to the serial fold for every
+//! worker count, over randomly generated workloads and trace seeds.
+//! Runs on `spec_support::proptest_lite`, so the whole suite is
+//! deterministic and offline.
+
+use cdfg::analysis::BranchProbs;
+use hls_lang::Program;
+use hls_resources::{Allocation, FuClass, Library};
+use hls_sim::{measure_with, profile};
+use spec_support::props;
+use spec_support::proptest_lite as pl;
+use std::collections::HashMap;
+use wavesched::{schedule, Mode, SchedConfig};
+
+const GCD: &str = "design gcd { input x, y; output g; var a = x; var b = y;
+    while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } g = a; }";
+
+const COUNTER: &str = "design d { input n; output o; var i = 0;
+    while (i < n) { i = i + 1; } o = i; }";
+
+fn sched(src: &str, alloc: Allocation, probs: &BranchProbs, mode: Mode) -> stg::Stg {
+    let p = Program::parse(src).unwrap();
+    let g = hls_lang::lower::compile(&p).unwrap();
+    schedule(
+        &g,
+        &Library::dac98(),
+        &alloc,
+        probs,
+        &SchedConfig::new(mode),
+    )
+    .unwrap()
+    .stg
+}
+
+props! {
+    /// Worker count never changes the measurement: 2- and 4-way
+    /// parallel runs reproduce the serial result exactly, including the
+    /// floating-point mean (same in-trace-order fold).
+    fn parallel_measure_is_deterministic(
+        seed in pl::range(1u64..1000),
+        n in pl::range(3usize..17),
+        mode in pl::boolean(),
+    ) {
+        let p = Program::parse(GCD).unwrap();
+        let g = hls_lang::lower::compile(&p).unwrap();
+        let vectors = hls_sim::trace::positive_vectors(seed, &["x", "y"], 24.0, 63, n);
+        let probs = profile(&g, &vectors, &HashMap::new());
+        let alloc = Allocation::new()
+            .with(FuClass::Subtracter, 2)
+            .with(FuClass::Comparator, 1)
+            .with(FuClass::EqComparator, 2);
+        let mode = if mode { Mode::Speculative } else { Mode::NonSpeculative };
+        let r = schedule(&g, &Library::dac98(), &alloc, &probs, &SchedConfig::new(mode)).unwrap();
+        let mems = HashMap::new();
+        let serial = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, 1);
+        for workers in [2usize, 4] {
+            let par = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, workers);
+            assert_eq!(serial, par, "{workers} workers diverge from serial");
+            assert!(
+                serial.mean_cycles.to_bits() == par.mean_cycles.to_bits(),
+                "mean not bit-identical at {workers} workers"
+            );
+        }
+    }
+
+    /// Degenerate shapes: worker counts exceeding the trace count and a
+    /// single-trace workload still agree with the serial fold.
+    fn parallel_measure_handles_degenerate_splits(
+        seed in pl::range(1u64..500),
+        n in pl::range(1usize..4),
+    ) {
+        let probs = BranchProbs::new();
+        let stg = sched(
+            COUNTER,
+            Allocation::new()
+                .with(FuClass::Incrementer, 1)
+                .with(FuClass::Comparator, 1),
+            &probs,
+            Mode::Speculative,
+        );
+        let p = Program::parse(COUNTER).unwrap();
+        let g = hls_lang::lower::compile(&p).unwrap();
+        let vectors = hls_sim::trace::positive_vectors(seed, &["n"], 6.0, 15, n);
+        let mems = HashMap::new();
+        let serial = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, 1);
+        for workers in [2usize, 8, 64] {
+            let par = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, workers);
+            assert_eq!(serial, par, "{workers} workers diverge on {n} traces");
+        }
+    }
+}

@@ -16,10 +16,23 @@
 //!   (warmup + N timed iterations, median/p95) that emits
 //!   machine-readable `BENCH_*.json` files for perf trajectories.
 //!
+//! Two further modules serve the workspace's hot paths rather than its
+//! test infrastructure:
+//!
+//! * [`fxhash`] — the rustc multiply-xor hasher with `FxHashMap`/
+//!   `FxHashSet` aliases, for in-process keys where SipHash's DoS
+//!   resistance buys nothing (BDD hash-consing, memo caches,
+//!   interners). Unseeded and platform-stable, with committed
+//!   reference vectors.
+//! * [`interner`] — a generic value→dense-`u32`-id interner, the
+//!   substrate for the scheduler's operation-instance table.
+//!
 //! Determinism is not just an infrastructure concern here: the paper's
 //! Table 1 / Fig. 13 cycle counts come from simulated input traces, so
 //! the reproduction's numbers must be replayable from a seed alone.
 
 pub mod bench;
+pub mod fxhash;
+pub mod interner;
 pub mod proptest_lite;
 pub mod rng;

@@ -32,8 +32,12 @@ use std::rc::Rc;
 /// shrinker. Cloning is cheap: both halves are reference-counted.
 pub struct Gen<T> {
     generate: Rc<dyn Fn(&mut Xoshiro256StarStar) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
+
+/// A reference-counted shrinking strategy: candidate smaller values for
+/// a failing input.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
@@ -569,8 +573,8 @@ mod tests {
     props! {
         /// The macro itself works end-to-end with multiple bindings.
         fn macro_smoke(a in range(0i64..10), b in range(0i64..10), flip in boolean()) {
-            let sum = if flip { a + b } else { b + a };
-            assert_eq!(sum, a + b);
+            let (x, y) = if flip { (a, b) } else { (b, a) };
+            assert_eq!(x + y, a + b);
         }
     }
 }

@@ -283,7 +283,7 @@ mod tests {
             let u: u32 = r.range(3u32..4);
             assert_eq!(u, 3, "singleton range");
             let f: f64 = r.range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
         }
     }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproducible benchmark run: pinned iteration counts, offline build,
+# results copied to the repo root as BENCH_*.json.
+#
+# Trace inputs are deterministic by construction (the workloads compile
+# in fixed Gaussian seeds), so two runs of this script on one machine
+# differ only by timer noise. Override the pins via the environment:
+#
+#   SPEC_BENCH_ITERS=50 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export SPEC_BENCH_ITERS="${SPEC_BENCH_ITERS:-12}"
+export SPEC_BENCH_WARMUP="${SPEC_BENCH_WARMUP:-2}"
+
+echo "== bench (iters=$SPEC_BENCH_ITERS warmup=$SPEC_BENCH_WARMUP)"
+for target in substrates schedulers simulation; do
+    cargo bench -q --offline --bench "$target"
+done
+
+for f in target/spec-bench/BENCH_*.json; do
+    cp "$f" .
+    echo "copied $f -> $(basename "$f")"
+done

@@ -23,4 +23,17 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+echo "== cargo clippy --offline --all-targets -- -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint check"
+fi
+
+echo "== bench smoke (1 iteration per entry)"
+for target in substrates schedulers simulation; do
+    SPEC_BENCH_ITERS=1 SPEC_BENCH_WARMUP=0 \
+        cargo bench -q --offline --bench "$target"
+done
+
 echo "verify: OK"
