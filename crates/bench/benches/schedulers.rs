@@ -6,24 +6,53 @@
 //! `target/spec-bench/BENCH_schedulers.json`.
 
 use spec_support::bench::{black_box, Harness};
-use wavesched::{schedule, Mode, SchedConfig};
+use wavesched::{schedule, Mode, PhaseTimers, SchedConfig};
+
+/// Times scheduling `w` under `mode` and annotates the bench with the
+/// last run's per-phase nanosecond breakdown (`extra` in the JSON), so
+/// the artifact records *where* scheduler time goes, not just how much.
+fn bench_schedule(h: &mut Harness, prefix: &str, w: &workloads::Workload, mode: Mode) {
+    let mut cfg = SchedConfig::new(mode);
+    cfg.max_spec_depth = w.spec_depth;
+    let mut phases = PhaseTimers::default();
+    h.bench_n(&format!("{prefix}/{}/{mode}", w.name), 10, || {
+        let r = schedule(
+            black_box(&w.cdfg),
+            &w.library,
+            &w.allocation,
+            &Default::default(),
+            &cfg,
+        )
+        .expect("schedules");
+        phases = r.stats.phases;
+        black_box(r.stg.working_state_count())
+    });
+    for (key, stat) in [
+        ("phase_grow_ns", phases.grow),
+        ("phase_partition_ns", phases.partition),
+        ("phase_signature_ns", phases.signature),
+        ("phase_fold_ns", phases.fold),
+        ("phase_bdd_ns", phases.bdd),
+    ] {
+        h.annotate(key, stat.ns);
+    }
+}
 
 fn bench_table1_schedulers(h: &mut Harness) {
     for w in workloads::all() {
         for mode in [Mode::NonSpeculative, Mode::Speculative] {
-            let mut cfg = SchedConfig::new(mode);
-            cfg.max_spec_depth = w.spec_depth;
-            h.bench_n(&format!("table1/{}/{mode}", w.name), 10, || {
-                let r = schedule(
-                    black_box(&w.cdfg),
-                    &w.library,
-                    &w.allocation,
-                    &Default::default(),
-                    &cfg,
-                )
-                .expect("schedules");
-                black_box(r.stg.working_state_count())
-            });
+            bench_schedule(h, "table1", &w, mode);
+        }
+    }
+}
+
+/// Beyond-Table-1 stress designs: Findmin at N = 64 (longer
+/// steady-state pipeline) and the sequential two-loop Findmin variant
+/// (fold index across loop boundaries).
+fn bench_stress_schedulers(h: &mut Harness) {
+    for w in [workloads::findmin64(), workloads::findmin_two_pass()] {
+        for mode in [Mode::NonSpeculative, Mode::Speculative] {
+            bench_schedule(h, "stress", &w, mode);
         }
     }
 }
@@ -50,6 +79,7 @@ fn bench_fig5_schedules(h: &mut Harness) {
 fn main() {
     let mut h = Harness::new("schedulers");
     bench_table1_schedulers(&mut h);
+    bench_stress_schedulers(&mut h);
     bench_fig5_schedules(&mut h);
     h.finish().expect("bench JSON written");
 }

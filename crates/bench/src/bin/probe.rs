@@ -17,10 +17,19 @@ fn main() {
     let runs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10usize);
     let w = workloads::all()
         .into_iter()
-        .chain([workloads::fig4(), workloads::dsp_clip()])
+        .chain([
+            workloads::fig4(),
+            workloads::dsp_clip(),
+            workloads::findmin64(),
+            workloads::findmin_two_pass(),
+            workloads::triangle(),
+        ])
         .find(|w| w.name.eq_ignore_ascii_case(name))
         .unwrap_or_else(|| {
-            eprintln!("unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin Fig4 DspClip");
+            eprintln!(
+                "unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin \
+                 Findmin64 FindminTwoPass Triangle Fig4 DspClip"
+            );
             std::process::exit(2);
         });
     let t = std::time::Instant::now();
@@ -37,4 +46,5 @@ fn main() {
         t.elapsed()
     );
     println!("  bdd: {}", r.sched.stats.bdd_cache);
+    println!("  phases: {}", r.sched.stats.phases);
 }

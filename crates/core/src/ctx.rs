@@ -39,6 +39,7 @@ use spec_support::interner::Interner;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hasher;
+use std::sync::Arc;
 
 /// Iteration indices aligned with an op's loop path.
 pub(crate) type Iter = Vec<u32>;
@@ -282,62 +283,134 @@ impl CondTable {
 }
 
 /// The scheduler's knowledge at a state boundary.
+///
+/// # Copy-on-write layout
+///
+/// Every collection field sits behind an [`Arc`]: `Ctx::clone` — the
+/// per-branch copy `partition` makes for each of the 2^k outcomes of a
+/// condition split — is k reference-count bumps, not a deep copy.
+/// Reads go through `Deref` transparently; writers must go through the
+/// `*_mut` accessors ([`Arc::make_mut`]), which clone a field's
+/// collection only at first mutation while shared. The engine's
+/// mutation passes are written scan-before-mutate: they compute the
+/// delta read-only and touch the accessor only when the delta is
+/// non-empty, so a branch pays O(changed entries), not O(|Ctx|).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Ctx {
     /// Issued value versions and their validity guards.
-    pub avail: BTreeMap<Key, AvailInfo>,
+    pub avail: Arc<BTreeMap<Key, AvailInfo>>,
     /// Schedulable conditioned instances.
-    pub cands: Vec<Candidate>,
+    pub cands: Arc<Vec<Candidate>>,
     /// Instances whose consumption is decided: a version with a
     /// constant-true guard was issued, so no further version can be
     /// valid on this path.
-    pub done: BTreeSet<InstId>,
+    pub done: Arc<BTreeSet<InstId>>,
     /// Outstanding side-effect obligations: instantiated effectful
     /// instances (memory writes, outputs) not yet validly executed.
-    pub obligations: BTreeMap<InstId, Guard>,
+    pub obligations: Arc<BTreeMap<InstId, Guard>>,
     /// Computed-but-unresolved condition versions: key, validity guard,
     /// states until the result is ready.
-    pub pending_conds: Vec<(Key, Guard, u32)>,
+    pub pending_conds: Arc<Vec<(Key, Guard, u32)>>,
     /// Resolution history on this path (pruned to the live window).
-    pub resolved: BTreeMap<CondInst, bool>,
+    pub resolved: Arc<BTreeMap<CondInst, bool>>,
     /// Busy non-pipelined units: class display name → remaining-state
     /// counts.
-    pub fu_busy: BTreeMap<String, Vec<u32>>,
+    pub fu_busy: Arc<BTreeMap<String, Vec<u32>>>,
     /// Per loop context (loop, outer iteration prefix): highest iteration
     /// index instantiated so far.
-    pub horizon: BTreeMap<(LoopId, Iter), u32>,
+    pub horizon: Arc<BTreeMap<(LoopId, Iter), u32>>,
     /// Per loop context: all continue-condition instances below this
     /// index are known true on this path. Lets resolution history below
     /// the live window be pruned (else steady states would never fold).
-    pub floor: BTreeMap<(LoopId, Iter), u32>,
+    pub floor: Arc<BTreeMap<(LoopId, Iter), u32>>,
     /// Per loop context: every direct-member instance below this index is
     /// already executed or control-dead. The candidate window never goes
     /// below it, and `done` entries under it can be pruned — the pair of
     /// facts that keeps lagging work schedulable without unbounded
     /// bookkeeping.
-    pub work_floor: BTreeMap<(LoopId, Iter), u32>,
+    pub work_floor: Arc<BTreeMap<(LoopId, Iter), u32>>,
 }
 
 impl Ctx {
+    /// Mutable access to `avail` (clones the map if shared).
+    pub fn avail_mut(&mut self) -> &mut BTreeMap<Key, AvailInfo> {
+        Arc::make_mut(&mut self.avail)
+    }
+
+    /// Mutable access to `cands` (clones the vec if shared).
+    pub fn cands_mut(&mut self) -> &mut Vec<Candidate> {
+        Arc::make_mut(&mut self.cands)
+    }
+
+    /// Mutable access to `done` (clones the set if shared).
+    pub fn done_mut(&mut self) -> &mut BTreeSet<InstId> {
+        Arc::make_mut(&mut self.done)
+    }
+
+    /// Mutable access to `obligations` (clones the map if shared).
+    pub fn obligations_mut(&mut self) -> &mut BTreeMap<InstId, Guard> {
+        Arc::make_mut(&mut self.obligations)
+    }
+
+    /// Mutable access to `pending_conds` (clones the vec if shared).
+    pub fn pending_conds_mut(&mut self) -> &mut Vec<(Key, Guard, u32)> {
+        Arc::make_mut(&mut self.pending_conds)
+    }
+
+    /// Mutable access to `resolved` (clones the map if shared).
+    pub fn resolved_mut(&mut self) -> &mut BTreeMap<CondInst, bool> {
+        Arc::make_mut(&mut self.resolved)
+    }
+
+    /// Mutable access to `fu_busy` (clones the map if shared).
+    pub fn fu_busy_mut(&mut self) -> &mut BTreeMap<String, Vec<u32>> {
+        Arc::make_mut(&mut self.fu_busy)
+    }
+
+    /// Mutable access to `horizon` (clones the map if shared).
+    pub fn horizon_mut(&mut self) -> &mut BTreeMap<(LoopId, Iter), u32> {
+        Arc::make_mut(&mut self.horizon)
+    }
+
+    /// Mutable access to `floor` (clones the map if shared).
+    pub fn floor_mut(&mut self) -> &mut BTreeMap<(LoopId, Iter), u32> {
+        Arc::make_mut(&mut self.floor)
+    }
+
+    /// Mutable access to `work_floor` (clones the map if shared).
+    pub fn work_floor_mut(&mut self) -> &mut BTreeMap<(LoopId, Iter), u32> {
+        Arc::make_mut(&mut self.work_floor)
+    }
+
     /// Applies end-of-state timing: depths reset, multi-cycle results get
     /// one state closer to ready, busy units tick down.
     pub fn tick(&mut self) {
-        for info in self.avail.values_mut() {
-            info.depth = 0.0;
-            if info.ready_in > 0 {
-                info.ready_in -= 1;
+        if self
+            .avail
+            .values()
+            .any(|i| i.depth != 0.0 || i.ready_in > 0)
+        {
+            for info in self.avail_mut().values_mut() {
+                info.depth = 0.0;
+                if info.ready_in > 0 {
+                    info.ready_in -= 1;
+                }
             }
         }
-        for (_, _, r) in &mut self.pending_conds {
-            if *r > 0 {
-                *r -= 1;
+        if self.pending_conds.iter().any(|(_, _, r)| *r > 0) {
+            for (_, _, r) in self.pending_conds_mut() {
+                if *r > 0 {
+                    *r -= 1;
+                }
             }
         }
-        for v in self.fu_busy.values_mut() {
-            for r in v.iter_mut() {
-                *r -= 1;
+        if self.fu_busy.values().any(|v| !v.is_empty()) {
+            for v in self.fu_busy_mut().values_mut() {
+                for r in v.iter_mut() {
+                    *r -= 1;
+                }
+                v.retain(|&r| r > 0);
             }
-            v.retain(|&r| r > 0);
         }
     }
 
@@ -345,28 +418,85 @@ impl Ctx {
     /// entries whose guard collapses to false (Step 2 of Sec. 4.3:
     /// invalidated speculations are removed so they stop sourcing
     /// successors).
+    ///
+    /// Scan-before-mutate: each collection is first walked read-only to
+    /// find the guards the cofactor actually changes; collections with
+    /// no affected guard are never written, so their copy-on-write
+    /// storage stays shared with the sibling branch.
     pub fn cofactor(&mut self, mgr: &mut BddManager, var: Cond, value: bool, inst: CondInst) {
-        self.resolved.insert(inst, value);
-        self.avail.retain(|_, info| {
-            info.guard = mgr.cofactor(info.guard, var, value);
-            !info.guard.is_false()
-        });
-        self.cands.retain_mut(|c| {
-            c.guard = mgr.cofactor(c.guard, var, value);
-            let keep = !c.guard.is_false();
-            if !keep && std::env::var_os("WAVESCHED_TRACE").is_some() {
-                eprintln!("drop cand {:?} on {:?}={}", c.inst, inst, value);
+        self.resolved_mut().insert(inst, value);
+        let changed: Vec<(Key, Guard)> = self
+            .avail
+            .iter()
+            .filter_map(|(k, info)| {
+                let ng = mgr.cofactor(info.guard, var, value);
+                (ng != info.guard).then_some((*k, ng))
+            })
+            .collect();
+        if !changed.is_empty() {
+            let avail = self.avail_mut();
+            for (k, ng) in changed {
+                if ng.is_false() {
+                    avail.remove(&k);
+                } else {
+                    avail.get_mut(&k).expect("scanned key").guard = ng;
+                }
             }
-            keep
-        });
-        self.obligations.retain(|_, g| {
-            *g = mgr.cofactor(*g, var, value);
-            !g.is_false()
-        });
-        self.pending_conds.retain_mut(|(_, g, _)| {
-            *g = mgr.cofactor(*g, var, value);
-            !g.is_false()
-        });
+        }
+        let changed: Vec<(usize, Guard)> = self
+            .cands
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let ng = mgr.cofactor(c.guard, var, value);
+                (ng != c.guard).then_some((i, ng))
+            })
+            .collect();
+        if !changed.is_empty() {
+            let trace = std::env::var_os("WAVESCHED_TRACE").is_some();
+            let cands = self.cands_mut();
+            for &(i, ng) in &changed {
+                if ng.is_false() && trace {
+                    eprintln!("drop cand {:?} on {:?}={}", cands[i].inst, inst, value);
+                }
+                cands[i].guard = ng;
+            }
+            cands.retain(|c| !c.guard.is_false());
+        }
+        let changed: Vec<(InstId, Guard)> = self
+            .obligations
+            .iter()
+            .filter_map(|(i, g)| {
+                let ng = mgr.cofactor(*g, var, value);
+                (ng != *g).then_some((*i, ng))
+            })
+            .collect();
+        if !changed.is_empty() {
+            let obls = self.obligations_mut();
+            for (i, ng) in changed {
+                if ng.is_false() {
+                    obls.remove(&i);
+                } else {
+                    *obls.get_mut(&i).expect("scanned key") = ng;
+                }
+            }
+        }
+        let changed: Vec<(usize, Guard)> = self
+            .pending_conds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, g, _))| {
+                let ng = mgr.cofactor(*g, var, value);
+                (ng != *g).then_some((i, ng))
+            })
+            .collect();
+        if !changed.is_empty() {
+            let pend = self.pending_conds_mut();
+            for &(i, ng) in &changed {
+                pend[i].1 = ng;
+            }
+            pend.retain(|(_, g, _)| !g.is_false());
+        }
     }
 
     /// All iteration indices in use for loop `l` at depth `d` of some
@@ -404,7 +534,7 @@ impl Ctx {
                 note(g, mins, op, iter);
             }
         }
-        for (k, info) in &self.avail {
+        for (k, info) in self.avail.iter() {
             let (op, iter) = it.pair(k.inst);
             note(g, &mut mins, op, iter);
             note_guard(info.guard, g, ct, mgr, it, &mut scratch, &mut mins);
@@ -415,7 +545,7 @@ impl Ctx {
                 }
             }
         }
-        for c in &self.cands {
+        for c in self.cands.iter() {
             let (op, iter) = it.pair(c.inst);
             note(g, &mut mins, op, iter);
             note_guard(c.guard, g, ct, mgr, it, &mut scratch, &mut mins);
@@ -426,12 +556,12 @@ impl Ctx {
                 }
             }
         }
-        for (inst, gd) in &self.obligations {
+        for (inst, gd) in self.obligations.iter() {
             let (op, iter) = it.pair(*inst);
             note(g, &mut mins, op, iter);
             note_guard(*gd, g, ct, mgr, it, &mut scratch, &mut mins);
         }
-        for (k, gd, _) in &self.pending_conds {
+        for (k, gd, _) in self.pending_conds.iter() {
             let (op, iter) = it.pair(k.inst);
             note(g, &mut mins, op, iter);
             note_guard(*gd, g, ct, mgr, it, &mut scratch, &mut mins);
@@ -449,6 +579,28 @@ impl Ctx {
         keys
     }
 
+    /// The canonical per-loop shift basis both signature renderers use:
+    /// minimum live iteration index per loop, with loops that have no
+    /// live indexed instance (typically: just exited) anchored at their
+    /// floor so exit states of different iteration counts fold. Floors
+    /// only ever advance, so this is a stable basis.
+    pub(crate) fn loop_mins(
+        &self,
+        g: &cdfg::Cdfg,
+        ct: &CondTable,
+        mgr: &mut BddManager,
+        it: &InstTable,
+    ) -> BTreeMap<LoopId, u32> {
+        let mut mins = self.collect_loop_mins(g, ct, mgr, it);
+        for ((l, _), f) in self.floor.iter() {
+            let e = mins.entry(*l).or_insert(*f);
+            if *e == u32::MAX {
+                *e = *f;
+            }
+        }
+        mins
+    }
+
     /// Canonical signature of the context modulo a uniform per-loop
     /// iteration shift, plus the per-loop minimum indices needed to
     /// derive fold renames.
@@ -463,6 +615,13 @@ impl Ctx {
     /// Every section is rendered in *content* order (see
     /// [`Ctx::canonical_keys`]), so signature equality is set equality of
     /// rendered entries regardless of interner allocation order.
+    ///
+    /// Since the hash-consed [`Ctx::signature_hash`] took over the fold
+    /// index, this renderer survives as the debug-build collision
+    /// cross-check (the engine asserts that contexts sharing a hash
+    /// render identical strings) and as the test oracle for the token
+    /// scheme's equality relation.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub fn signature(
         &self,
         g: &cdfg::Cdfg,
@@ -470,18 +629,7 @@ impl Ctx {
         mgr: &mut BddManager,
         it: &InstTable,
     ) -> (String, BTreeMap<LoopId, u32>) {
-        let mut mins = self.collect_loop_mins(g, ct, mgr, it);
-        // Loops with no live indexed instance (typically: just exited)
-        // still appear in resolution history, floors and horizons; shift
-        // them by their floor so exit states of different iteration
-        // counts fold. Floors only ever advance, so this is a stable
-        // canonical basis.
-        for ((l, _), f) in &self.floor {
-            let e = mins.entry(*l).or_insert(*f);
-            if *e == u32::MAX {
-                *e = *f;
-            }
-        }
+        let mins = self.loop_mins(g, ct, mgr, it);
         let shift_iter = |op: OpId, iter: &[u32]| -> Vec<i64> {
             let path = g.op(op).loop_path();
             iter.iter()
@@ -575,7 +723,7 @@ impl Ctx {
             let (op, iter) = it.pair(inst);
             let _ = write!(s, "O{}@{:?}:{};", op, shift_iter(op, iter), fmt_guard(gd));
         }
-        for (k, gd, r) in &self.pending_conds {
+        for (k, gd, r) in self.pending_conds.iter() {
             let _ = write!(s, "P{}:{}r{r};", fmt_key(k), fmt_guard(*gd));
         }
         let mut res: Vec<(InstId, bool)> = self.resolved.iter().map(|(i, v)| (*i, *v)).collect();
@@ -590,7 +738,7 @@ impl Ctx {
             let (op, iter) = it.pair(inst);
             let _ = write!(s, "D{}@{:?};", op, shift_iter(op, iter));
         }
-        for (class, busy) in &self.fu_busy {
+        for (class, busy) in self.fu_busy.iter() {
             let _ = write!(s, "F{class}:{busy:?};");
         }
         let shifted_prefix = |l: LoopId, pre: &Iter| -> Vec<i64> {
@@ -613,19 +761,19 @@ impl Ctx {
                 })
                 .collect()
         };
-        for ((l, pre), h) in &self.horizon {
+        for ((l, pre), h) in self.horizon.iter() {
             // Shift the horizon by the loop's own min, and the outer
             // prefix by each ancestor loop's min.
             let pre_shifted = shifted_prefix(*l, pre);
             let hs = i64::from(*h) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "H{l}@{pre_shifted:?}:{hs};");
         }
-        for ((l, pre), fl) in &self.floor {
+        for ((l, pre), fl) in self.floor.iter() {
             let pre_shifted = shifted_prefix(*l, pre);
             let fs = i64::from(*fl) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "L{l}@{pre_shifted:?}:{fs};");
         }
-        for ((l, pre), wf) in &self.work_floor {
+        for ((l, pre), wf) in self.work_floor.iter() {
             let pre_shifted = shifted_prefix(*l, pre);
             let ws_ = i64::from(*wf) - i64::from(mins.get(l).copied().unwrap_or(0));
             let _ = write!(s, "W{l}@{pre_shifted:?}:{ws_};");
@@ -721,7 +869,7 @@ mod tests {
     fn tick_advances_timing() {
         let mut it = InstTable::default();
         let mut ctx = Ctx::default();
-        ctx.avail.insert(
+        ctx.avail_mut().insert(
             Key::new(it.id(OpId::new(0), &[]), 0),
             AvailInfo {
                 guard: Guard::TRUE,
@@ -730,7 +878,7 @@ mod tests {
                 operands: vec![],
             },
         );
-        ctx.fu_busy.insert("mult1".into(), vec![2, 1]);
+        ctx.fu_busy_mut().insert("mult1".into(), vec![2, 1]);
         ctx.tick();
         let info = ctx.avail.values().next().unwrap();
         assert_eq!(info.ready_in, 1);
@@ -747,7 +895,7 @@ mod tests {
         let var = ct.var(inst);
         let lit = mgr.literal(var, true);
         let mut ctx = Ctx::default();
-        ctx.avail.insert(
+        ctx.avail_mut().insert(
             Key::new(it.id(OpId::new(1), &[0]), 0),
             AvailInfo {
                 guard: lit,
@@ -756,8 +904,9 @@ mod tests {
                 operands: vec![],
             },
         );
-        ctx.obligations
-            .insert(it.id(OpId::new(2), &[0]), mgr.literal(var, false));
+        let false_guard = mgr.literal(var, false);
+        ctx.obligations_mut()
+            .insert(it.id(OpId::new(2), &[0]), false_guard);
         ctx.cofactor(&mut mgr, var, true, inst);
         assert_eq!(ctx.avail.len(), 1, "validated value survives");
         assert!(ctx.avail.values().next().unwrap().guard.is_true());
@@ -775,7 +924,7 @@ mod tests {
         let mk = |iters: &[u32], it: &mut InstTable| -> Ctx {
             let mut ctx = Ctx::default();
             for &i in iters {
-                ctx.avail.insert(
+                ctx.avail_mut().insert(
                     Key::new(it.id(op, &[i]), 0),
                     AvailInfo {
                         guard: Guard::TRUE,
@@ -813,7 +962,7 @@ mod tests {
         // inserts in reverse — plus fresh instances interned later with
         // *smaller* content indices than existing ones.
         let add = |ctx: &mut Ctx, id: InstId| {
-            ctx.avail.insert(
+            ctx.avail_mut().insert(
                 Key::new(id, 0),
                 AvailInfo {
                     guard: Guard::TRUE,
@@ -854,7 +1003,7 @@ mod tests {
         let key = Key::new(it.id(op, &[0]), 0);
         let mk = |gd: Guard| -> Ctx {
             let mut ctx = Ctx::default();
-            ctx.avail.insert(
+            ctx.avail_mut().insert(
                 key,
                 AvailInfo {
                     guard: gd,

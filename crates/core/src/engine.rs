@@ -10,6 +10,7 @@ use crate::ctx::{
     cmp_src, AvailInfo, Candidate, CondInst, CondTable, Ctx, InstId, InstTable, Iter, Key, ValSrc,
 };
 use crate::resolve::{Res, Tables};
+use crate::sig::SigBuilder;
 use crate::{Mode, SchedConfig, SchedError};
 use cdfg::analysis::{self, BranchProbs};
 use cdfg::{Cdfg, LoopId, OpId, PortKind};
@@ -17,8 +18,63 @@ use guards::{BddManager, Cond, CondProbs, Guard};
 use hls_resources::{classify, Allocation, Library};
 use spec_support::fxhash::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::time::Instant;
 use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
+
+/// Wall-clock accounting of one engine phase: invocation count plus
+/// total nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStat {
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all runs.
+    pub ns: u64,
+}
+
+impl PhaseStat {
+    fn add(&mut self, d: std::time::Duration) {
+        self.calls += 1;
+        self.ns += u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    }
+}
+
+impl fmt::Display for PhaseStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}ms/{}", self.ns as f64 / 1e6, self.calls)
+    }
+}
+
+/// Per-phase wall-clock breakdown of a scheduling run.
+///
+/// `bdd` is the cofactoring time inside `partition` (a sub-phase, not a
+/// disjoint slice), so the five entries do not sum to the total run
+/// time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimers {
+    /// State growing: candidate selection and issue (Fig. 12 step 2).
+    pub grow: PhaseStat,
+    /// Context partitioning over resolved-condition combinations
+    /// (Fig. 12 step 4), including the per-branch cofactoring.
+    pub partition: PhaseStat,
+    /// Canonical signature construction for the fold test.
+    pub signature: PhaseStat,
+    /// Fold-index probe plus rename derivation / index insertion.
+    pub fold: PhaseStat,
+    /// Guard cofactoring inside `partition` (sub-phase of `partition`).
+    pub bdd: PhaseStat,
+}
+
+impl fmt::Display for PhaseTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "grow={} partition={} signature={} fold={} bdd={}",
+            self.grow, self.partition, self.signature, self.fold, self.bdd
+        )
+    }
+}
 
 /// Statistics of one scheduling run.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +91,8 @@ pub struct SchedStats {
     pub bdd_nodes: usize,
     /// BDD operation-cache behavior over the run (hit rates, evictions).
     pub bdd_cache: guards::CacheStats,
+    /// Per-phase wall-clock breakdown.
+    pub phases: PhaseTimers,
 }
 
 /// A finished schedule: the STG plus run statistics.
@@ -80,8 +138,37 @@ struct Engine<'a> {
     /// Per op: every loop whose iteration bookkeeping (floor/horizon)
     /// its transitive fanin can reference.
     loops_needed: Vec<BTreeSet<LoopId>>,
+    /// Per op: its direct consumers through data and order edges,
+    /// including the op itself (see [`direct_consumers`]). These are
+    /// exactly the ops whose candidate generation can observe a change
+    /// to this op's context entries; they drive the sweep memo's dirty
+    /// propagation.
+    consumers: Vec<Vec<OpId>>,
+    /// Per loop: the ops whose candidate generation reads that loop's
+    /// iteration bookkeeping (the inverse of [`Self::loops_needed`]).
+    loop_readers: Vec<Vec<OpId>>,
     stg: Stg,
-    sigs: HashMap<String, (StateId, Vec<Key>)>,
+    /// Fold index keyed by the 128-bit content hash of the interned
+    /// signature token stream (see [`SigBuilder`]).
+    sigs: FxHashMap<u128, (StateId, Vec<Key>)>,
+    sig: SigBuilder,
+    /// Collision cross-check: in debug builds every hashed signature is
+    /// also rendered as the legacy string and any two contexts mapping to
+    /// one hash must render identically.
+    #[cfg(debug_assertions)]
+    sig_strings: FxHashMap<u128, String>,
+    /// Sweep memo: the epoch at which each `(op, iter)` pair last ran
+    /// [`Res::gen_candidates`]. The pair is skipped while its op's
+    /// dirty epoch is not newer — none of its inputs (`resolved` and
+    /// `floor` are frozen during growth; fanin `avail`, same-instance
+    /// candidates, and loop horizons are tracked as events) can have
+    /// changed, so the call would be an idempotent no-op.
+    gen_epoch: FxHashMap<InstId, u64>,
+    /// Per-op epoch of the most recent context change visible to its
+    /// candidate generator.
+    gen_dirty: Vec<u64>,
+    /// Monotone event counter backing the sweep memo.
+    epoch: u64,
     /// Criticality memo. λ(op) and the branch probabilities are fixed for
     /// the whole run, so `(instance, guard)` fully determines Eq. 5 —
     /// entries never invalidate.
@@ -104,6 +191,13 @@ impl<'a> Engine<'a> {
         cfg: &'a SchedConfig,
     ) -> Self {
         let lambda = analysis::lambda(g, probs, &lib.delay_fn(g));
+        let loops_needed = loops_needed(g);
+        let mut loop_readers: Vec<Vec<OpId>> = vec![Vec::new(); g.loops().len()];
+        for op in g.ops() {
+            for l in &loops_needed[op.id().index()] {
+                loop_readers[l.index()].push(op.id());
+            }
+        }
         Engine {
             g,
             lib,
@@ -117,9 +211,17 @@ impl<'a> Engine<'a> {
             cprobs: CondProbs::new(),
             lambda,
             useful: useful_ops(g),
-            loops_needed: loops_needed(g),
+            loops_needed,
+            consumers: direct_consumers(g),
+            loop_readers,
             stg: Stg::new(g.name()),
-            sigs: HashMap::new(),
+            sigs: FxHashMap::default(),
+            sig: SigBuilder::default(),
+            gen_epoch: FxHashMap::default(),
+            gen_dirty: vec![0; g.ops().len()],
+            epoch: 0,
+            #[cfg(debug_assertions)]
+            sig_strings: FxHashMap::default(),
             crit_cache: FxHashMap::default(),
             prob_memo: FxHashMap::default(),
             supp_scratch: Vec::new(),
@@ -137,6 +239,60 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Invalidates the whole sweep memo. Called whenever sweeping
+    /// starts on a context the memo's epochs do not describe — a state
+    /// picked off the worklist or a freshly cofactored branch.
+    fn reset_gen_memo(&mut self) {
+        self.gen_epoch.clear();
+        self.epoch = 1;
+        self.gen_dirty.fill(1);
+    }
+
+    /// Records a change to `op`'s context entries (an issue appending
+    /// to `avail`, or its generator appending/widening candidates):
+    /// every transitive consumer must re-generate before it can be
+    /// skipped again.
+    fn mark_op_changed(&mut self, op: OpId) {
+        self.epoch += 1;
+        for p in &self.consumers[op.index()] {
+            self.gen_dirty[p.index()] = self.epoch;
+        }
+    }
+
+    /// Records a horizon bump of loop `l`: every op whose generation
+    /// reads that loop's bookkeeping must re-generate.
+    fn mark_loop_changed(&mut self, l: LoopId) {
+        self.epoch += 1;
+        for p in &self.loop_readers[l.index()] {
+            self.gen_dirty[p.index()] = self.epoch;
+        }
+    }
+
+    /// Hashed canonical signature of a context, timed under the
+    /// `signature` phase. Debug builds additionally render the legacy
+    /// string signature and assert that the hash never aliases two
+    /// distinct strings (and that equal strings hash equally).
+    fn hashed_signature(&mut self, ctx: &Ctx) -> u128 {
+        let t = Instant::now();
+        let (sig, _) = ctx.signature_hash(self.g, &self.ct, &mut self.mgr, &self.it, &mut self.sig);
+        self.stats.phases.signature.add(t.elapsed());
+        #[cfg(debug_assertions)]
+        {
+            let (s, _) = ctx.signature(self.g, &self.ct, &mut self.mgr, &self.it);
+            match self.sig_strings.entry(sig) {
+                std::collections::hash_map::Entry::Occupied(e) => assert_eq!(
+                    e.get(),
+                    &s,
+                    "signature hash {sig:032x} aliases two distinct contexts"
+                ),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(s);
+                }
+            }
+        }
+        sig
+    }
+
     fn run(mut self) -> Result<ScheduleResult, SchedError> {
         let mut ctx0 = Ctx::default();
         // Initial obligations: every side-effect operation at the
@@ -147,9 +303,10 @@ impl<'a> Engine<'a> {
             let guard = self.res().ctrl_guard(&ctx0, e, &iter);
             if !guard.is_false() {
                 let inst = self.it.id(e, &iter);
-                ctx0.obligations.insert(inst, guard);
+                ctx0.obligations_mut().insert(inst, guard);
             }
         }
+        self.reset_gen_memo();
         self.sweep(&mut ctx0);
 
         let start = self.stg.start();
@@ -163,7 +320,7 @@ impl<'a> Engine<'a> {
             });
             return self.finish();
         }
-        let (sig, _) = ctx0.signature(self.g, &self.ct, &mut self.mgr, &self.it);
+        let sig = self.hashed_signature(&ctx0);
         let keys0 = ctx0.canonical_keys(&self.it);
         self.sigs.insert(sig, (start, keys0));
         self.stats.states = 1;
@@ -176,13 +333,15 @@ impl<'a> Engine<'a> {
             if iterations > self.cfg.max_iterations {
                 return Err(SchedError::IterationLimit(self.cfg.max_iterations));
             }
-            let t0 = std::time::Instant::now();
+            let t0 = Instant::now();
             self.grow_state(sid, &mut ctx)?;
             let t_grow = t0.elapsed();
+            self.stats.phases.grow.add(t_grow);
             ctx.tick();
-            let t1 = std::time::Instant::now();
+            let t1 = Instant::now();
             let branches = self.partition(ctx);
             let t_part = t1.elapsed();
+            self.stats.phases.partition.add(t_part);
             if std::env::var_os("WAVESCHED_TRACE").is_some() {
                 eprintln!(
                     "state {sid}: grow={t_grow:?} partition={t_part:?} branches={} bdd={}",
@@ -203,6 +362,7 @@ impl<'a> Engine<'a> {
             for (when, mut bctx) in branches {
                 let tb = std::time::Instant::now();
                 self.promote_done(&mut bctx);
+                self.reset_gen_memo();
                 self.sweep(&mut bctx);
                 let t_sw = tb.elapsed();
                 let tg = std::time::Instant::now();
@@ -228,10 +388,12 @@ impl<'a> Engine<'a> {
                     });
                     continue;
                 }
-                let (sig, _) = bctx.signature(self.g, &self.ct, &mut self.mgr, &self.it);
+                let sig = self.hashed_signature(&bctx);
+                let t_fold = Instant::now();
                 if let Some((tid, old_keys)) = self.sigs.get(&sig) {
                     let renames = fold_renames(&bctx, old_keys, &self.it);
                     let tid = *tid;
+                    self.stats.phases.fold.add(t_fold.elapsed());
                     if tid == sid && when.is_empty() && self.stg.state(sid).ops.is_empty() {
                         return Err(SchedError::Stuck(format!(
                             "livelock: empty state {sid} folds onto itself"
@@ -247,12 +409,11 @@ impl<'a> Engine<'a> {
                     let nid = self.stg.add_state();
                     if std::env::var_os("WAVESCHED_DEBUG").is_some() {
                         eprintln!(
-                            "new state {nid}: avail={} cands={} obls={} resolved={} sig={}",
+                            "new state {nid}: avail={} cands={} obls={} resolved={} sig={sig:032x}",
                             bctx.avail.len(),
                             bctx.cands.len(),
                             bctx.obligations.len(),
                             bctx.resolved.len(),
-                            &sig[..sig.len().min(400)]
                         );
                     }
                     self.stats.states += 1;
@@ -261,6 +422,7 @@ impl<'a> Engine<'a> {
                     }
                     let keys = bctx.canonical_keys(&self.it);
                     self.sigs.insert(sig, (nid, keys));
+                    self.stats.phases.fold.add(t_fold.elapsed());
                     self.stg.state_mut(sid).transitions.push(Transition {
                         when,
                         target: nid,
@@ -297,6 +459,11 @@ impl<'a> Engine<'a> {
     fn grow_state(&mut self, sid: StateId, ctx: &mut Ctx) -> Result<(), SchedError> {
         let mut issued: FxHashSet<Key> = FxHashSet::default();
         let mut class_use: BTreeMap<String, u32> = BTreeMap::new();
+        // `resolved` and `floor` are frozen while a state grows, so the
+        // sweep memo only has to watch issue and horizon events from
+        // here on. The contexts differ between states, though: start
+        // cold.
+        self.reset_gen_memo();
         loop {
             self.sweep(ctx);
             let mut best: Option<(f64, usize, f64)> = None; // (crit, idx, start)
@@ -341,21 +508,21 @@ impl<'a> Engine<'a> {
             if !waiting && !ctx.obligations.is_empty() {
                 if std::env::var_os("WAVESCHED_DEBUG").is_some() {
                     eprintln!("--- stuck ctx dump ---");
-                    for (k, info) in &ctx.avail {
+                    for (k, info) in ctx.avail.iter() {
                         let (op, iter) = self.it.pair(k.inst);
                         eprintln!(
                             "avail {:?}@{:?}v{} guard={} ready={}",
                             op, iter, k.version, info.guard, info.ready_in
                         );
                     }
-                    for c in &ctx.cands {
+                    for c in ctx.cands.iter() {
                         let (op, iter) = self.it.pair(c.inst);
                         eprintln!(
                             "cand {:?}@{:?} ops={:?} toks={:?} guard={}",
                             op, iter, c.operands, c.tokens, c.guard
                         );
                     }
-                    for (inst, gd) in &ctx.obligations {
+                    for (inst, gd) in ctx.obligations.iter() {
                         let (op, iter) = self.it.pair(*inst);
                         eprintln!("oblig {:?}@{:?} guard={gd}", op, iter);
                     }
@@ -503,7 +670,7 @@ impl<'a> Engine<'a> {
         issued: &mut FxHashSet<Key>,
         class_use: &mut BTreeMap<String, u32>,
     ) {
-        let cand = ctx.cands.remove(idx);
+        let cand = ctx.cands_mut().remove(idx);
         let op = self.it.op(cand.inst);
         let kind = self.g.op(op).kind();
         let spec = self.lib.spec_for(kind);
@@ -521,7 +688,7 @@ impl<'a> Engine<'a> {
             .max()
             .unwrap_or(0);
         let key = Key::new(cand.inst, version);
-        ctx.avail.insert(
+        ctx.avail_mut().insert(
             key,
             AvailInfo {
                 guard: cand.guard,
@@ -535,18 +702,22 @@ impl<'a> Engine<'a> {
             let class_str = classify(kind).to_string();
             *class_use.entry(class_str.clone()).or_insert(0) += 1;
             if !s.pipelined && s.latency > 1 {
-                ctx.fu_busy.entry(class_str).or_default().push(s.latency);
+                ctx.fu_busy_mut()
+                    .entry(class_str)
+                    .or_default()
+                    .push(s.latency);
             }
         }
         if kind.has_side_effect() {
-            ctx.obligations.remove(&cand.inst);
+            ctx.obligations_mut().remove(&cand.inst);
         }
         if cand.guard.is_true() {
-            ctx.done.insert(cand.inst);
-            ctx.cands.retain(|c| c.inst != cand.inst);
+            ctx.done_mut().insert(cand.inst);
+            ctx.cands_mut().retain(|c| c.inst != cand.inst);
         }
         if self.g.op(op).is_conditional() {
-            ctx.pending_conds.push((key, cand.guard, latency.max(1)));
+            ctx.pending_conds_mut()
+                .push((key, cand.guard, latency.max(1)));
         }
         let guard_str = {
             let ct = &self.ct;
@@ -573,6 +744,7 @@ impl<'a> Engine<'a> {
             guard_str,
         });
         self.stats.issues += 1;
+        self.mark_op_changed(op);
     }
 
     /// Generates candidates for every useful op over the live iteration
@@ -589,8 +761,23 @@ impl<'a> Engine<'a> {
                 }
                 let iters = enumerate_iters(self.g, op.id(), &domain, ctx, &self.it);
                 for iter in iters {
+                    // Skip pairs whose generator inputs are unchanged
+                    // since their last run: re-calling would be an
+                    // idempotent no-op (most of a state's repeated
+                    // sweeps are). The memo is keyed on the interned
+                    // instance, which `gen_candidates` would intern at
+                    // this exact point anyway.
+                    let inst = self.it.id(op.id(), &iter);
+                    if self
+                        .gen_epoch
+                        .get(&inst)
+                        .is_some_and(|&e| e >= self.gen_dirty[op.id().index()])
+                    {
+                        continue;
+                    }
                     let (max_versions, max_spec_depth) =
                         (self.cfg.max_versions, self.cfg.max_spec_depth);
+                    let epoch = self.epoch;
                     let n = self.res().gen_candidates(
                         ctx,
                         op.id(),
@@ -598,11 +785,13 @@ impl<'a> Engine<'a> {
                         max_versions,
                         max_spec_depth,
                     );
+                    self.gen_epoch.insert(inst, epoch);
                     if n > 0 {
                         if std::env::var_os("WAVESCHED_TRACE").is_some() {
                             eprintln!("sweep: +{n} for {:?}@{:?}", op.id(), iter);
                         }
                         added += n;
+                        self.mark_op_changed(op.id());
                         self.note_iteration(ctx, op.id(), &iter);
                     }
                 }
@@ -675,11 +864,22 @@ impl<'a> Engine<'a> {
         for (d, &l) in path.iter().enumerate() {
             let prefix: Iter = iter[..d].to_vec();
             let k = iter[d];
-            let h = ctx.horizon.entry((l, prefix.clone())).or_insert(0);
-            if k <= *h {
-                continue;
+            // Scan first: the common case re-visits an already-open
+            // iteration and must not touch the copy-on-write map. A
+            // missing entry is materialized even when `k` is 0 — the
+            // horizon map's key set is signature-visible.
+            match ctx.horizon.get(&(l, prefix.clone())).copied() {
+                Some(h) if k <= h => continue,
+                None if k == 0 => {
+                    ctx.horizon_mut().insert((l, prefix.clone()), 0);
+                    self.mark_loop_changed(l);
+                    continue;
+                }
+                _ => {
+                    ctx.horizon_mut().insert((l, prefix.clone()), k);
+                    self.mark_loop_changed(l);
+                }
             }
-            *h = k;
             // Newly opened iteration: instantiate the obligations of
             // every effectful op directly inside this loop level (deeper
             // levels open through their own horizon bumps at index 0).
@@ -702,7 +902,9 @@ impl<'a> Engine<'a> {
                 let guard = self.res().ctrl_guard(ctx, e, &eiter);
                 if !guard.is_false() {
                     let einst = self.it.id(e, &eiter);
-                    ctx.obligations.entry(einst).or_insert(guard);
+                    if !ctx.obligations.contains_key(&einst) {
+                        ctx.obligations_mut().insert(einst, guard);
+                    }
                 }
             }
         }
@@ -728,7 +930,7 @@ impl<'a> Engine<'a> {
             let (op, iter) = self.it.pair(k.inst);
             note(&mut dom, self.g, op, iter);
         }
-        for c in &ctx.cands {
+        for c in ctx.cands.iter() {
             let (op, iter) = self.it.pair(c.inst);
             note(&mut dom, self.g, op, iter);
         }
@@ -736,7 +938,7 @@ impl<'a> Engine<'a> {
             let (op, iter) = self.it.pair(*inst);
             note(&mut dom, self.g, op, iter);
         }
-        for ((l, prefix), h) in &ctx.horizon {
+        for ((l, prefix), h) in ctx.horizon.iter() {
             let e = dom.entry((*l, prefix.clone())).or_insert((u32::MAX, 0));
             e.0 = e.0.min(*h);
             e.1 = e.1.max(h + 1);
@@ -757,15 +959,18 @@ impl<'a> Engine<'a> {
     /// Promotes versions whose guard resolved to constant true:
     /// consumption of their instance is decided.
     fn promote_done(&mut self, ctx: &mut Ctx) {
+        // Scan first: only instances not already decided trigger a write
+        // to the copy-on-write collections.
         let winners: Vec<InstId> = ctx
             .avail
             .iter()
             .filter(|(_, info)| info.guard.is_true())
             .map(|(k, _)| k.inst)
+            .filter(|w| !ctx.done.contains(w))
             .collect();
         for w in winners {
-            if ctx.done.insert(w) {
-                ctx.cands.retain(|c| c.inst != w);
+            if ctx.done_mut().insert(w) {
+                ctx.cands_mut().retain(|c| c.inst != w);
             }
         }
     }
@@ -776,7 +981,7 @@ impl<'a> Engine<'a> {
     /// steady-state loop contexts would never fold.
     fn gc(&mut self, ctx: &mut Ctx) {
         let mut marks: FxHashSet<Key> = FxHashSet::default();
-        for c in &ctx.cands {
+        for c in ctx.cands.iter() {
             for o in &c.operands {
                 if let ValSrc::Key(k) = o {
                     marks.insert(*k);
@@ -786,7 +991,7 @@ impl<'a> Engine<'a> {
                 marks.insert(*t);
             }
         }
-        for (k, _, _) in &ctx.pending_conds {
+        for (k, _, _) in ctx.pending_conds.iter() {
             marks.insert(*k);
         }
         // Potential-consumer sweep: any not-yet-decided instance marks
@@ -838,20 +1043,29 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        ctx.avail.retain(|k, _| marks.contains(k));
+        if ctx.avail.keys().any(|k| !marks.contains(k)) {
+            ctx.avail_mut().retain(|k, _| marks.contains(k));
+        }
         // Tombstone operand provenance that references collected keys:
         // keeping dead names would pin the iteration window open and
         // block steady-state folding. (An emptied list can never collide
         // with a real candidate's operand list, so re-issue dedup stays
         // sound.)
         let live: FxHashSet<Key> = ctx.avail.keys().copied().collect();
-        for info in ctx.avail.values_mut() {
-            let dead = info
-                .operands
+        let any_dead = ctx.avail.values().any(|info| {
+            info.operands
                 .iter()
-                .any(|o| matches!(o, ValSrc::Key(k) if !live.contains(k)));
-            if dead {
-                info.operands.clear();
+                .any(|o| matches!(o, ValSrc::Key(k) if !live.contains(k)))
+        });
+        if any_dead {
+            for info in ctx.avail_mut().values_mut() {
+                let dead = info
+                    .operands
+                    .iter()
+                    .any(|o| matches!(o, ValSrc::Key(k) if !live.contains(k)));
+                if dead {
+                    info.operands.clear();
+                }
             }
         }
 
@@ -893,7 +1107,11 @@ impl<'a> Engine<'a> {
                 }
                 wf += 1;
             }
-            ctx.work_floor.insert((l, prefix), wf);
+            // The entry itself is signature-visible, so a missing entry
+            // is written even at value 0; an unchanged one is not.
+            if ctx.work_floor.get(&(l, prefix.clone())) != Some(&wf) {
+                ctx.work_floor_mut().insert((l, prefix), wf);
+            }
         }
 
         // Prune bookkeeping strictly below the enumeration domain: an
@@ -923,7 +1141,7 @@ impl<'a> Engine<'a> {
         // enumeration may still consult them).
         let loop_conds: BTreeSet<OpId> = self.tables.loop_of_cond.keys().copied().collect();
         let it = &self.it;
-        ctx.resolved.retain(|inst, _| {
+        let keep_resolved = |inst: &CondInst| -> bool {
             let (op, iter) = it.pair(*inst);
             if loop_conds.contains(&op) {
                 return !below(op, iter);
@@ -940,11 +1158,34 @@ impl<'a> Engine<'a> {
                 }
             }
             !below(op, iter)
-        });
-        ctx.done.retain(|inst| {
-            let (op, iter) = it.pair(*inst);
-            !below(op, iter)
-        });
+        };
+        let dead: Vec<CondInst> = ctx
+            .resolved
+            .keys()
+            .filter(|i| !keep_resolved(i))
+            .copied()
+            .collect();
+        if !dead.is_empty() {
+            let resolved = ctx.resolved_mut();
+            for i in dead {
+                resolved.remove(&i);
+            }
+        }
+        let dead: Vec<InstId> = ctx
+            .done
+            .iter()
+            .filter(|inst| {
+                let (op, iter) = it.pair(**inst);
+                below(op, iter)
+            })
+            .copied()
+            .collect();
+        if !dead.is_empty() {
+            let done = ctx.done_mut();
+            for i in dead {
+                done.remove(&i);
+            }
+        }
         // Horizons/floors: keep any loop that a live instance indexes, or
         // that the fanin cone of a pending obligation / candidate can
         // still reference through exit views.
@@ -953,7 +1194,7 @@ impl<'a> Engine<'a> {
             let op = self.it.op(*inst);
             live_loops.extend(self.loops_needed[op.index()].iter().copied());
         }
-        for c in &ctx.cands {
+        for c in ctx.cands.iter() {
             let op = self.it.op(c.inst);
             live_loops.extend(self.loops_needed[op.index()].iter().copied());
         }
@@ -979,12 +1220,16 @@ impl<'a> Engine<'a> {
                 }
             })
         };
-        ctx.horizon
-            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
-        ctx.floor
-            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
-        ctx.work_floor
-            .retain(|(l, p), _| live_loops.contains(l) && prefix_live(*l, p));
+        let keep = |l: &LoopId, p: &Iter| live_loops.contains(l) && prefix_live(*l, p);
+        if ctx.horizon.keys().any(|(l, p)| !keep(l, p)) {
+            ctx.horizon_mut().retain(|(l, p), _| keep(l, p));
+        }
+        if ctx.floor.keys().any(|(l, p)| !keep(l, p)) {
+            ctx.floor_mut().retain(|(l, p), _| keep(l, p));
+        }
+        if ctx.work_floor.keys().any(|(l, p)| !keep(l, p)) {
+            ctx.work_floor_mut().retain(|(l, p), _| keep(l, p));
+        }
     }
 
     /// Partitions the context by the combinations of conditions resolved
@@ -1012,7 +1257,7 @@ impl<'a> Engine<'a> {
             out.push((when, ctx));
             return;
         };
-        let (key, _, _) = ctx.pending_conds.remove(i);
+        let (key, _, _) = ctx.pending_conds_mut().remove(i);
         let inst: CondInst = key.inst;
         // Already resolved through another version on this path? Then
         // this version is redundant; drop it and continue.
@@ -1023,7 +1268,9 @@ impl<'a> Engine<'a> {
         let var = self.ct.var(inst);
         for val in [true, false] {
             let mut c2 = ctx.clone();
+            let t = Instant::now();
             c2.cofactor(&mut self.mgr, var, val, inst);
+            self.stats.phases.bdd.add(t.elapsed());
             self.bump_floor(&mut c2, inst, val);
             let mut w2 = when.clone();
             w2.push((key, val));
@@ -1054,13 +1301,17 @@ impl<'a> Engine<'a> {
                 break;
             };
             if ctx.resolved.get(&key) == Some(&true) {
-                ctx.resolved.remove(&key);
+                ctx.resolved_mut().remove(&key);
                 floor += 1;
             } else {
                 break;
             }
         }
-        ctx.floor.insert((l, prefix), floor);
+        // Like the work floor: the entry's presence is signature-visible,
+        // so insert-if-absent even at 0, but skip unchanged values.
+        if ctx.floor.get(&(l, prefix.clone())) != Some(&floor) {
+            ctx.floor_mut().insert((l, prefix), floor);
+        }
     }
 }
 
@@ -1102,6 +1353,40 @@ fn useful_ops(g: &Cdfg) -> Vec<bool> {
         }
     }
     useful
+}
+
+/// Per op: the ops whose candidate generation reads this op's context
+/// entries, plus the op itself. Generation reads `avail` only of an
+/// op's *direct* port and ordering sources — a consumer of a
+/// pass-through sees the pass-through's *issued copies*, never its
+/// sources (pass-throughs are scheduled as real register transfers),
+/// and steering/control guards resolve structurally through
+/// `resolved`/`floor`, which are frozen while a state grows. One hop
+/// therefore suffices for the sweep memo's event fan-out.
+fn direct_consumers(g: &Cdfg) -> Vec<Vec<OpId>> {
+    let n = g.ops().len();
+    let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); n];
+    for (i, v) in consumers.iter_mut().enumerate() {
+        v.push(OpId::new(i as u32));
+    }
+    for op in g.ops() {
+        let mut add = |s: OpId| {
+            let v = &mut consumers[s.index()];
+            if !v.contains(&op.id()) {
+                v.push(op.id());
+            }
+        };
+        for p in op.ports().iter().chain(op.order_deps()) {
+            match *p {
+                PortKind::Wire(s) => add(s),
+                PortKind::Carried { src, init, .. } | PortKind::Exit { src, init, .. } => {
+                    add(src);
+                    add(init);
+                }
+            }
+        }
+    }
+    consumers
 }
 
 /// For each op, the loops whose iteration bookkeeping its transitive
@@ -1255,7 +1540,7 @@ fn live_mins(g: &Cdfg, ctx: &Ctx, it: &InstTable) -> BTreeMap<LoopId, u32> {
         let (op, iter) = it.pair(k.inst);
         note(op, iter);
     }
-    for c in &ctx.cands {
+    for c in ctx.cands.iter() {
         let (op, iter) = it.pair(c.inst);
         note(op, iter);
     }
@@ -1263,7 +1548,7 @@ fn live_mins(g: &Cdfg, ctx: &Ctx, it: &InstTable) -> BTreeMap<LoopId, u32> {
         let (op, iter) = it.pair(*inst);
         note(op, iter);
     }
-    for (k, _, _) in &ctx.pending_conds {
+    for (k, _, _) in ctx.pending_conds.iter() {
         let (op, iter) = it.pair(k.inst);
         note(op, iter);
     }

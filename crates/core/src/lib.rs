@@ -81,8 +81,9 @@
 mod ctx;
 mod engine;
 mod resolve;
+mod sig;
 
-pub use engine::{schedule, SchedStats, ScheduleResult};
+pub use engine::{schedule, PhaseStat, PhaseTimers, SchedStats, ScheduleResult};
 
 use std::fmt;
 

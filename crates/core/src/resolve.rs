@@ -589,14 +589,16 @@ impl Res<'_> {
                     continue;
                 }
                 let operands = vec![v];
-                if let Some(c) = ctx
+                // Scan first: widening only writes through the context's
+                // copy-on-write candidate list when the guard changes.
+                if let Some(i) = ctx
                     .cands
-                    .iter_mut()
-                    .find(|c| c.inst == inst && c.operands == operands)
+                    .iter()
+                    .position(|c| c.inst == inst && c.operands == operands)
                 {
-                    let widened = self.mgr.or(c.guard, guard);
-                    if widened != c.guard {
-                        c.guard = widened;
+                    let widened = self.mgr.or(ctx.cands[i].guard, guard);
+                    if widened != ctx.cands[i].guard {
+                        ctx.cands_mut()[i].guard = widened;
                         added += 1;
                     }
                     continue;
@@ -613,7 +615,7 @@ impl Res<'_> {
                 if live >= max_versions {
                     break;
                 }
-                ctx.cands.push(Candidate {
+                ctx.cands_mut().push(Candidate {
                     inst,
                     operands,
                     tokens: Vec::new(),
@@ -674,14 +676,14 @@ impl Res<'_> {
             // An existing candidate with the same operand choice absorbs
             // the new guard (a new exit iteration opening widens the
             // condition under which this choice is the right one).
-            if let Some(c) = ctx
+            if let Some(i) = ctx
                 .cands
-                .iter_mut()
-                .find(|c| c.inst == inst && c.operands == operands)
+                .iter()
+                .position(|c| c.inst == inst && c.operands == operands)
             {
-                let widened = self.mgr.or(c.guard, guard);
-                if widened != c.guard {
-                    c.guard = widened;
+                let widened = self.mgr.or(ctx.cands[i].guard, guard);
+                if widened != ctx.cands[i].guard {
+                    ctx.cands_mut()[i].guard = widened;
                     added += 1;
                 }
                 continue;
@@ -698,7 +700,7 @@ impl Res<'_> {
             if existing + added >= max_versions {
                 break;
             }
-            ctx.cands.push(Candidate {
+            ctx.cands_mut().push(Candidate {
                 inst,
                 operands,
                 tokens: tokens.clone(),
@@ -830,9 +832,9 @@ mod tests {
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
-        ctx.floor.insert((lp, vec![]), 2); // c@0, c@1 known true
+        ctx.floor_mut().insert((lp, vec![]), 2); // c@0, c@1 known true
         let c2 = it.id(cont, &[2]);
-        ctx.resolved.insert(c2, true);
+        ctx.resolved_mut().insert(c2, true);
         let mut r = Res {
             g: &g,
             tables: &tables,
@@ -844,7 +846,7 @@ mod tests {
         // Only the branch literal remains.
         assert_eq!(r.mgr.support(guard).len(), 1);
         // And a resolved-false continuation kills the instance outright.
-        ctx.resolved.insert(c2, false);
+        ctx.resolved_mut().insert(c2, false);
         let dead = r.ctrl_guard(&ctx, sum, &vec![2]);
         assert!(dead.is_false());
     }
@@ -865,7 +867,7 @@ mod tests {
         // Issue only the true-side add at iteration 0 so one side of the
         // select has a value; the steering Gt is entirely unscheduled.
         let sum0 = it.id(sum, &[0]);
-        ctx.avail.insert(
+        ctx.avail_mut().insert(
             Key::new(sum0, 0),
             crate::ctx::AvailInfo {
                 guard: Guard::TRUE,
@@ -909,7 +911,7 @@ mod tests {
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
-        ctx.horizon.insert((lp, vec![]), 1);
+        ctx.horizon_mut().insert((lp, vec![]), 1);
         let mut r = Res {
             g: &g,
             tables: &tables,
@@ -969,7 +971,7 @@ mod tests {
         assert_eq!(r.gen_candidates(&mut ctx, inc, &vec![0], 4, 1), 1);
         // ...but iteration 2 needs a 3-condition chain plus operand
         // availability; even with values present, a cap of 1 blocks it.
-        ctx.avail.insert(
+        ctx.avail_mut().insert(
             Key::new(inc1, 0),
             crate::ctx::AvailInfo {
                 guard: Guard::TRUE,

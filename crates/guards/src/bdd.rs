@@ -16,15 +16,23 @@ use std::fmt;
 /// Capacity bound for the `ite` memo cache, in entries.
 ///
 /// The cache is cleared wholesale when an insert would exceed this bound
-/// (counted in [`CacheStats::evictions`]). Clearing — rather than LRU —
-/// keeps the hot path to a single hash probe; hash-consing means the
-/// recursion re-fills the cache at the cost of one descent. At ~28 bytes
-/// per entry this bounds the cache near 8 MiB.
+/// (counted in [`CacheStats::ite_evictions`]). Clearing — rather than
+/// LRU — keeps the hot path to a single hash probe; hash-consing means
+/// the recursion re-fills the cache at the cost of one descent. At ~28
+/// bytes per entry this bounds the cache near 8 MiB.
 const ITE_CACHE_CAP: usize = 1 << 18;
 
 /// Capacity bound for the cofactor memo cache, in entries (~1.5 MiB).
 /// Cofactors are cheaper to recompute than `ite`, so the bound is tighter.
 const COFACTOR_CACHE_CAP: usize = 1 << 16;
+
+/// Tag word [`BddManager::sop_tokens`] emits for the constant-false guard.
+pub const SOP_FALSE: u64 = 0;
+/// Tag word [`BddManager::sop_tokens`] emits for the constant-true guard.
+pub const SOP_TRUE: u64 = 1;
+/// Base tag for a non-constant guard: a stream opening with
+/// `SOP_CUBES + n` continues with `n` length-prefixed cubes.
+pub const SOP_CUBES: u64 = 2;
 
 /// A guard: a Boolean function over [`Cond`] variables, represented as a
 /// node in a [`BddManager`].
@@ -129,7 +137,8 @@ struct Counters {
     ite_misses: u64,
     cofactor_hits: u64,
     cofactor_misses: u64,
-    evictions: u64,
+    ite_evictions: u64,
+    cofactor_evictions: u64,
 }
 
 /// A snapshot of the manager's operation-cache behavior, exposed for the
@@ -144,10 +153,19 @@ pub struct CacheStats {
     pub cofactor_hits: u64,
     /// Cofactor memo-cache misses.
     pub cofactor_misses: u64,
-    /// Number of wholesale cache clears forced by the capacity bounds.
-    pub evictions: u64,
+    /// Wholesale `ite`-cache clears forced by the capacity bound.
+    pub ite_evictions: u64,
+    /// Wholesale cofactor-cache clears forced by the capacity bound.
+    pub cofactor_evictions: u64,
     /// Live (non-terminal) nodes in the manager at snapshot time.
     pub node_count: usize,
+}
+
+impl CacheStats {
+    /// Total wholesale cache clears across both bounded caches.
+    pub fn evictions(&self) -> u64 {
+        self.ite_evictions + self.cofactor_evictions
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -161,7 +179,7 @@ impl fmt::Display for CacheStats {
         };
         write!(
             f,
-            "nodes={} ite={}h/{}m ({:.1}%) cofactor={}h/{}m ({:.1}%) evictions={}",
+            "nodes={} ite={}h/{}m ({:.1}%) cofactor={}h/{}m ({:.1}%) evictions={}i/{}c",
             self.node_count,
             self.ite_hits,
             self.ite_misses,
@@ -169,7 +187,8 @@ impl fmt::Display for CacheStats {
             self.cofactor_hits,
             self.cofactor_misses,
             rate(self.cofactor_hits, self.cofactor_misses),
-            self.evictions
+            self.ite_evictions,
+            self.cofactor_evictions
         )
     }
 }
@@ -218,7 +237,8 @@ impl BddManager {
             ite_misses: self.stats.ite_misses,
             cofactor_hits: self.stats.cofactor_hits,
             cofactor_misses: self.stats.cofactor_misses,
-            evictions: self.stats.evictions,
+            ite_evictions: self.stats.ite_evictions,
+            cofactor_evictions: self.stats.cofactor_evictions,
             node_count: self.node_count(),
         }
     }
@@ -298,7 +318,7 @@ impl BddManager {
             // entry-by-entry. Correctness is unaffected (the cache only
             // short-circuits recomputation); the recursion repopulates it.
             self.ite_cache.clear();
-            self.stats.evictions += 1;
+            self.stats.ite_evictions += 1;
         }
         self.ite_cache.insert(key, r);
         r
@@ -393,7 +413,7 @@ impl BddManager {
         let r = self.mk(n.var, lo, hi);
         if self.cofactor_cache.len() >= self.cofactor_cap {
             self.cofactor_cache.clear();
-            self.stats.evictions += 1;
+            self.stats.cofactor_evictions += 1;
         }
         self.cofactor_cache.insert(key, r);
         r
@@ -618,6 +638,38 @@ impl BddManager {
             })
             .collect::<Vec<_>>()
             .join(" + ")
+    }
+
+    /// Renders `g` as a token stream over the same cube enumeration as
+    /// [`BddManager::to_sop_string`], appending to `out`.
+    ///
+    /// Encoding (injective, so two guards produce equal streams iff
+    /// they would produce equal SOP strings under an injective naming):
+    /// `FALSE` → `[SOP_FALSE]`, `TRUE` → `[SOP_TRUE]`, otherwise
+    /// `[SOP_CUBES + n, len(cube_1), lits…, …, len(cube_n), lits…]`
+    /// where each literal is `(name(cond) << 1) | polarity`. Callers
+    /// hand in a condition→token mapping instead of a condition→string
+    /// one; the scheduler's signature builder uses this to hash-cons
+    /// guard renderings without materializing strings.
+    pub fn sop_tokens(&self, g: Guard, name: &mut dyn FnMut(Cond) -> u64, out: &mut Vec<u64>) {
+        if g.is_false() {
+            out.push(SOP_FALSE);
+            return;
+        }
+        if g.is_true() {
+            out.push(SOP_TRUE);
+            return;
+        }
+        let mut cubes = Vec::new();
+        let mut lits: Vec<(Cond, bool)> = Vec::new();
+        self.collect_cubes(g, &mut lits, &mut cubes);
+        out.push(SOP_CUBES + cubes.len() as u64);
+        for cube in &cubes {
+            out.push(cube.len() as u64);
+            for &(c, v) in cube {
+                out.push((name(c) << 1) | v as u64);
+            }
+        }
     }
 
     fn collect_cubes(
@@ -923,10 +975,82 @@ mod tests {
             .collect();
         let racc = reference.and_all(rlits);
         assert_eq!(m.support(acc), reference.support(racc));
-        assert!(m.cache_stats().evictions > 0, "tiny cache never evicted");
+        assert!(m.cache_stats().evictions() > 0, "tiny cache never evicted");
         // Eviction must not corrupt canonicity: same AND again is equal.
         let again = m.and_all(lits);
         assert_eq!(again, acc);
+    }
+
+    #[test]
+    fn ite_evictions_counted_per_cache() {
+        // A 1-entry ite cache with a roomy cofactor cache: building a
+        // chain of ANDs forces ite evictions and only ite evictions.
+        let mut m = BddManager::with_cache_capacity(1, 1 << 16);
+        let lits: Vec<Guard> = (0..8).map(|i| m.literal(Cond::new(i), true)).collect();
+        let _ = m.and_all(lits);
+        let s = m.cache_stats();
+        assert!(s.ite_evictions > 0, "1-entry ite cache never evicted");
+        assert_eq!(s.cofactor_evictions, 0, "cofactor cache was not touched");
+        assert_eq!(s.evictions(), s.ite_evictions);
+    }
+
+    #[test]
+    fn cofactor_evictions_counted_per_cache() {
+        // Build a deep guard with a roomy ite cache, then cofactor on a
+        // high-index variable so the recursion needs >1 memo entry.
+        let mut m = BddManager::with_cache_capacity(1 << 18, 1);
+        let lits: Vec<Guard> = (0..8).map(|i| m.literal(Cond::new(i), true)).collect();
+        let odd = lits.chunks(2).map(|p| m.or(p[0], p[1])).collect::<Vec<_>>();
+        let g = m.and_all(odd);
+        let before = m.cache_stats();
+        let r = m.cofactor(g, Cond::new(7), true);
+        let after = m.cache_stats();
+        assert!(
+            after.cofactor_evictions > before.cofactor_evictions,
+            "1-entry cofactor cache never evicted"
+        );
+        assert_eq!(after.ite_evictions, before.ite_evictions);
+        // Eviction must not affect the result: recompute with a roomy cache.
+        let mut reference = BddManager::new();
+        let rlits: Vec<Guard> = (0..8)
+            .map(|i| reference.literal(Cond::new(i), true))
+            .collect();
+        let rodd = rlits
+            .chunks(2)
+            .map(|p| reference.or(p[0], p[1]))
+            .collect::<Vec<_>>();
+        let rg = reference.and_all(rodd);
+        let rr = reference.cofactor(rg, Cond::new(7), true);
+        assert_eq!(m.support(r), reference.support(rr));
+    }
+
+    #[test]
+    fn sop_tokens_mirror_sop_strings() {
+        // Token streams must agree with the string renderer on equality:
+        // same guard → same stream, different guards → different streams,
+        // and the cube structure must match the rendered string.
+        let (mut m, a, b, c) = mgr3();
+        let ab = m.and(a, b);
+        let nb = m.not(b);
+        let g1 = m.or(ab, nb);
+        let g2 = m.or(a, c);
+        let toks = |g: Guard| {
+            let mut out = Vec::new();
+            m.sop_tokens(g, &mut |cond| cond.index() as u64, &mut out);
+            out
+        };
+        assert_eq!(toks(Guard::FALSE), vec![SOP_FALSE]);
+        assert_eq!(toks(Guard::TRUE), vec![SOP_TRUE]);
+        assert_eq!(toks(g1), toks(g1));
+        assert_ne!(toks(g1), toks(g2));
+        // Cube count in the tag matches the string's "+"-separated terms.
+        let t = toks(g1);
+        let s = m.to_sop_string(g1, &|cond| format!("c{}", cond.index()));
+        let n_terms = s.split(" + ").count() as u64;
+        assert_eq!(t[0], SOP_CUBES + n_terms);
+        // Polarity is the low bit (0 = negated): !b appears as the
+        // literal `c1 << 1` somewhere in the stream.
+        assert!(t.contains(&(1u64 << 1)), "missing !c1 literal");
     }
 
     #[test]

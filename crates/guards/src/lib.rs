@@ -53,7 +53,7 @@ mod cube;
 mod prob;
 
 pub use assign::Assignment;
-pub use bdd::{BddManager, CacheStats, Guard};
+pub use bdd::{BddManager, CacheStats, Guard, SOP_CUBES, SOP_FALSE, SOP_TRUE};
 pub use cube::{Cube, Literal};
 pub use prob::CondProbs;
 

@@ -36,6 +36,10 @@ pub struct Stats {
     pub p95_ns: u64,
     /// Slowest iteration.
     pub max_ns: u64,
+    /// Bench-specific annotations ([`Harness::annotate`]): named `u64`
+    /// side-channel values (e.g. per-phase ns) emitted into the JSON
+    /// artifact alongside the timing percentiles.
+    pub extra: Vec<(String, u64)>,
 }
 
 /// A bench group: runs closures, accumulates [`Stats`], emits JSON.
@@ -103,6 +107,7 @@ impl Harness {
             median_ns: samples[n / 2],
             p95_ns: samples[(n - 1) * 95 / 100],
             max_ns: samples[n - 1],
+            extra: Vec::new(),
         };
         println!(
             "{:<44} median {:>10}  p95 {:>10}  (n={})",
@@ -112,6 +117,17 @@ impl Harness {
             iters,
         );
         self.results.push(stats);
+    }
+
+    /// Attaches a named `u64` annotation to the most recent bench (a
+    /// no-op before the first). Annotations land in the JSON artifact
+    /// as an `"extra"` object — use them for side-channel measurements
+    /// that percentile timing cannot express, such as the scheduler's
+    /// per-phase nanosecond breakdown.
+    pub fn annotate(&mut self, key: &str, value: u64) {
+        if let Some(s) = self.results.last_mut() {
+            s.extra.push((key.to_string(), value));
+        }
     }
 
     /// Read access to the accumulated results.
@@ -130,9 +146,21 @@ impl Harness {
         json.push_str("  \"unit\": \"ns/iter\",\n");
         json.push_str("  \"benches\": [\n");
         for (i, s) in self.results.iter().enumerate() {
+            // One line per bench: downstream tooling (bench_check.sh)
+            // line-matches on the name and median fields.
+            let extra = if s.extra.is_empty() {
+                String::new()
+            } else {
+                let kvs: Vec<String> = s
+                    .extra
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", json_string(k), v))
+                    .collect();
+                format!(", \"extra\": {{{}}}", kvs.join(", "))
+            };
             json.push_str(&format!(
                 "    {{\"name\": {}, \"iters\": {}, \"min\": {}, \"mean\": {}, \
-                 \"median\": {}, \"p95\": {}, \"max\": {}}}{}\n",
+                 \"median\": {}, \"p95\": {}, \"max\": {}{}}}{}\n",
                 json_string(&s.name),
                 s.iters,
                 s.min_ns,
@@ -140,6 +168,7 @@ impl Harness {
                 s.median_ns,
                 s.p95_ns,
                 s.max_ns,
+                extra,
                 if i + 1 == self.results.len() { "" } else { "," },
             ));
         }
@@ -225,6 +254,24 @@ mod tests {
         assert!(text.contains("\"group\": \"jsontest\""));
         assert!(text.contains("noop \\\"quoted\\\""));
         assert!(text.contains("\"median\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn annotations_reach_the_json_artifact() {
+        let dir = std::env::temp_dir().join(format!("spec-bench-extra-{}", std::process::id()));
+        let mut h = Harness::new("extratest").out_dir(&dir);
+        h.annotate("dropped", 1); // before any bench: no-op
+        h.bench_n("annotated", 3, || 2 + 2);
+        h.annotate("phase_grow_ns", 1234);
+        h.annotate("phase_fold_ns", 56);
+        h.bench_n("plain", 3, || 2 + 2);
+        assert_eq!(h.results()[0].extra.len(), 2);
+        assert!(h.results()[1].extra.is_empty());
+        let path = h.finish().expect("writes");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"extra\": {\"phase_grow_ns\": 1234, \"phase_fold_ns\": 56}"));
+        assert!(!text.contains("dropped"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

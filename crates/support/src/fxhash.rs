@@ -109,6 +109,106 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+// ---------------------------------------------------------------------------
+// Stable 128-bit content hashing
+// ---------------------------------------------------------------------------
+
+/// First-lane word scrambler (odd, from the splitmix64 constant family).
+const MIX_LO: u64 = 0xbf58_476d_1ce4_e5b9;
+/// Second-lane word scrambler (odd, distinct from [`MIX_LO`]).
+const MIX_HI: u64 = 0x94d0_49bb_1331_11eb;
+/// 64-bit golden ratio; seeds the two lanes apart from each other.
+const LANE_SPLIT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer: an invertible full-avalanche mix of one
+/// word (identical to the one inside [`crate::rng`]'s SplitMix64).
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(MIX_LO);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX_HI);
+    z ^ (z >> 31)
+}
+
+/// Stable 128-bit hasher for word streams.
+///
+/// Unlike [`FxHasher`] — whose job is to index in-process hash tables
+/// where a collision only costs a probe — this hasher's output is used
+/// as a *content identity*: the scheduler keys its state-fold index on
+/// the 128-bit hash of a signature's entry-id slice, treating equal
+/// hashes as equal states. That demands real avalanche, so every word
+/// passes through the (invertible, full-avalanche) splitmix64 finalizer
+/// in each of two independently seeded lanes, and the finish step folds
+/// in the stream length to kill extension collisions. Like `FxHasher`
+/// it is a pure function of the input words: no per-process seed, same
+/// value on every platform, pinned by reference vectors below.
+#[derive(Debug, Clone, Copy)]
+pub struct Fx128Hasher {
+    lo: u64,
+    hi: u64,
+    len: u64,
+}
+
+impl Default for Fx128Hasher {
+    fn default() -> Self {
+        Fx128Hasher {
+            lo: 0,
+            hi: LANE_SPLIT,
+            len: 0,
+        }
+    }
+}
+
+impl Fx128Hasher {
+    /// Creates a hasher with both lanes at their seed state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        self.lo = mix64(self.lo ^ word.wrapping_mul(MIX_LO));
+        self.hi = mix64(self.hi ^ word.wrapping_mul(MIX_HI));
+        self.len = self.len.wrapping_add(1);
+    }
+
+    /// Folds one `u32` in (widened; occupies a full stream position).
+    #[inline]
+    pub fn write_u32(&mut self, word: u32) {
+        self.write_u64(word as u64);
+    }
+
+    /// Finishes the stream: length-fold plus one last cross-lane mix.
+    #[inline]
+    pub fn finish128(&self) -> u128 {
+        let a = mix64(self.lo ^ self.len);
+        let b = mix64(self.hi ^ self.len.rotate_left(32) ^ a);
+        ((b as u128) << 64) | a as u128
+    }
+}
+
+/// Hashes a word slice to 128 bits — the one-shot form of
+/// [`Fx128Hasher`].
+pub fn hash128_words(words: &[u64]) -> u128 {
+    let mut h = Fx128Hasher::new();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish128()
+}
+
+/// Hashes a dense-id slice (e.g. interner ids) to 128 bits. Each id
+/// occupies one stream position, so `[1, 2]` and `[0x2_0000_0001]`
+/// cannot collide by packing.
+pub fn hash128_ids(ids: &[u32]) -> u128 {
+    let mut h = Fx128Hasher::new();
+    for &id in ids {
+        h.write_u32(id);
+    }
+    h.finish128()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +277,52 @@ mod tests {
     fn distinct_tails_hash_differently() {
         assert_ne!(hash_bytes(b"\x01"), hash_bytes(b"\x01\x00"));
         assert_ne!(hash_bytes(b"\x01\x00"), hash_bytes(b"\x00\x01"));
+    }
+
+    /// Committed 128-bit reference vectors: platform-stable, no
+    /// per-process seed. The fold index persists equality decisions on
+    /// these values, so a change here silently re-partitions every STG.
+    #[test]
+    fn fx128_reference_vectors() {
+        let cases: &[(&[u64], u128)] = &[
+            (&[], 0xe220a8397b1dcdaf0000000000000000),
+            (&[0], 0xbfc41210c3dae8a85692161d100b05e5),
+            (&[1], 0xb8ebbc79214a38a03d3d13ca9fddcd1c),
+            (&[1, 2, 3], 0x48d17d801a22a80abbf4bc4a43a4e718),
+            (&[u64::MAX], 0xabe3dc73ab20967c44a05696e8005dd1),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hash128_words(input), *want, "vector for {input:?}");
+        }
+        // The u32 form occupies one stream position per id, matching
+        // the widened-word form exactly.
+        assert_eq!(hash128_ids(&[1, 2, 3]), hash128_words(&[1, 2, 3]));
+    }
+
+    /// Stream length is folded in: a trailing zero word is not an
+    /// extension of the shorter stream, and incremental == one-shot.
+    #[test]
+    fn fx128_length_and_incremental() {
+        assert_ne!(hash128_words(&[1]), hash128_words(&[1, 0]));
+        assert_ne!(hash128_words(&[0]), hash128_words(&[]));
+        let mut h = Fx128Hasher::new();
+        h.write_u64(1);
+        h.write_u32(2);
+        h.write_u64(3);
+        assert_eq!(h.finish128(), hash128_words(&[1, 2, 3]));
+    }
+
+    /// Sanity: single-word inputs avalanche into distinct halves (no
+    /// two of the first 4k words share either 64-bit half).
+    #[test]
+    fn fx128_halves_distinct() {
+        let mut los = FxHashSet::default();
+        let mut his = FxHashSet::default();
+        for w in 0..4096u64 {
+            let h = hash128_words(&[w]);
+            assert!(los.insert(h as u64), "lo collision at {w}");
+            assert!(his.insert((h >> 64) as u64), "hi collision at {w}");
+        }
     }
 
     #[test]

@@ -294,6 +294,98 @@ pub fn findmin() -> Workload {
     w
 }
 
+/// Findmin at N = 64: the same comparison-gated scan over a four-times
+/// larger array. Not part of [`all`] (which mirrors the paper's Table 1
+/// exactly); the scheduler bench uses it to stress state-count scaling
+/// of the fold index on a longer steady-state pipeline.
+pub fn findmin64() -> Workload {
+    let mut w = Workload::build(
+        "Findmin64",
+        "design findmin64 {
+            input n;
+            output idx, min;
+            mem A[64];
+            var i = 1;
+            var best = A[0];
+            var bi = 0;
+            while (i < n) {
+                var v = A[i];
+                if (v < best) { best = v; bi = i; }
+                i = i + 1;
+            }
+            idx = bi;
+            min = best;
+        }",
+        Allocation::new()
+            .with(FuClass::Comparator, 2)
+            .with(FuClass::EqComparator, 2)
+            .with(FuClass::Incrementer, 1),
+        515,
+        20.0,
+        64,
+    );
+    // Deterministic pseudo-shuffle with a unique minimum: A[60] = 0.
+    w.mem_init
+        .insert("A".into(), (0..64).map(|i| (i * 37 + 11) % 97).collect());
+    w
+}
+
+/// Multi-loop Findmin: the minimum scan over `A` followed by a second
+/// data-dependent loop counting the elements of `B` within `margin` of
+/// that minimum. Two sequential loops joined by a scalar feed
+/// (`lim = best + margin`), so their steady states must fold
+/// independently — a bench-only stress of the fold index across loop
+/// boundaries (not part of [`all`]). The passes scan *distinct*
+/// memories: the serialization chain on a memory shared between two
+/// sequential loops deadlocks the scheduler (its order deps cross the
+/// loop horizons), which is why `B` exists.
+pub fn findmin_two_pass() -> Workload {
+    let mut w = Workload::build(
+        "FindminTwoPass",
+        "design findmin2p {
+            input n, margin;
+            output idx, near;
+            mem A[16];
+            mem B[16];
+            var i = 1;
+            var best = A[0];
+            var bi = 0;
+            while (i < n) {
+                var v = A[i];
+                if (v < best) { best = v; bi = i; }
+                i = i + 1;
+            }
+            var j = 0;
+            var c = 0;
+            var lim = best + margin;
+            while (j < n) {
+                var u = B[j];
+                if (u < lim) { c = c + 1; }
+                j = j + 1;
+            }
+            idx = bi;
+            near = c;
+        }",
+        Allocation::new()
+            .with(FuClass::Adder, 1)
+            .with(FuClass::Comparator, 2)
+            .with(FuClass::EqComparator, 2)
+            .with(FuClass::Incrementer, 1),
+        525,
+        10.0,
+        16,
+    );
+    w.mem_init.insert(
+        "A".into(),
+        vec![93, 27, 64, 11, 85, 42, 7, 58, 31, 99, 16, 73, 5, 88, 49, 22],
+    );
+    w.mem_init.insert(
+        "B".into(),
+        vec![14, 52, 9, 77, 3, 61, 18, 90, 12, 44, 70, 8, 33, 95, 26, 15],
+    );
+    w
+}
+
 /// All five Table-1 workloads, in the paper's row order.
 pub fn all() -> Vec<Workload> {
     vec![barcode(), gcd(), test1(), tlc(), findmin()]
@@ -423,7 +515,13 @@ mod tests {
 
     #[test]
     fn all_workloads_compile_and_execute() {
-        for w in all().into_iter().chain([triangle(), dsp_clip(), fig4()]) {
+        for w in all().into_iter().chain([
+            triangle(),
+            dsp_clip(),
+            fig4(),
+            findmin64(),
+            findmin_two_pass(),
+        ]) {
             let vectors = w.vectors(3);
             assert_eq!(vectors.len(), 3, "{}", w.name);
             for v in &vectors {
@@ -439,7 +537,13 @@ mod tests {
 
     #[test]
     fn interpreters_agree_on_all_workloads() {
-        for w in all().into_iter().chain([triangle(), dsp_clip(), fig4()]) {
+        for w in all().into_iter().chain([
+            triangle(),
+            dsp_clip(),
+            fig4(),
+            findmin64(),
+            findmin_two_pass(),
+        ]) {
             for v in w.vectors(3) {
                 let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
                 let image = hls_lang::MemImage {
@@ -486,6 +590,33 @@ mod tests {
         let out = hls_lang::interp::run(&w.program, &[("n", 16)], &image, 1_000_000).unwrap();
         assert_eq!(out.outputs["min"], 5);
         assert_eq!(out.outputs["idx"], 12);
+    }
+
+    #[test]
+    fn findmin64_finds_unique_zero_minimum() {
+        let w = findmin64();
+        assert_eq!(w.mem_init["A"].len(), 64);
+        let image = hls_lang::MemImage {
+            contents: w.mem_init.clone(),
+        };
+        let out = hls_lang::interp::run(&w.program, &[("n", 64)], &image, 1_000_000).unwrap();
+        assert_eq!(out.outputs["min"], 0);
+        assert_eq!(out.outputs["idx"], 60);
+    }
+
+    #[test]
+    fn findmin_two_pass_counts_near_minimum() {
+        let w = findmin_two_pass();
+        let image = hls_lang::MemImage {
+            contents: w.mem_init.clone(),
+        };
+        let out =
+            hls_lang::interp::run(&w.program, &[("n", 16), ("margin", 10)], &image, 1_000_000)
+                .unwrap();
+        // min(A) = 5 at index 12; elements of B below 5 + 10 = 15 are
+        // {14, 9, 3, 12, 8}.
+        assert_eq!(out.outputs["idx"], 12);
+        assert_eq!(out.outputs["near"], 5);
     }
 
     #[test]

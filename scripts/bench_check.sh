@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-runs the scheduler bench into a scratch
+# directory and compares every bench's median against the committed
+# BENCH_schedulers.json. Fails if any median regresses by more than
+# 25% (override with SPEC_BENCH_CHECK_PCT), or if a baseline bench
+# disappeared from the fresh run. New benches (present only in the
+# fresh run) are ignored — they gain a baseline when scripts/bench.sh
+# refreshes the committed artifact.
+#
+# Opt-in from the tier-1 gate: SPEC_BENCH_CHECK=1 scripts/verify.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_schedulers.json
+THRESHOLD_PCT="${SPEC_BENCH_CHECK_PCT:-25}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_check: no committed $BASELINE to compare against"
+    exit 1
+fi
+
+export CARGO_NET_OFFLINE=true
+export SPEC_BENCH_ITERS="${SPEC_BENCH_ITERS:-9}"
+export SPEC_BENCH_WARMUP="${SPEC_BENCH_WARMUP:-2}"
+
+FRESH_DIR="$(mktemp -d)"
+trap 'rm -rf "$FRESH_DIR"' EXIT
+
+echo "== bench_check (iters=$SPEC_BENCH_ITERS warmup=$SPEC_BENCH_WARMUP threshold=${THRESHOLD_PCT}%)"
+SPEC_BENCH_DIR="$FRESH_DIR" cargo bench -q --offline --bench schedulers
+
+# The harness writes one bench per line, so "name median" pairs fall
+# out of a single substitution.
+medians() {
+    sed -n 's/.*"name": "\([^"]*\)".*"median": \([0-9]*\).*/\1 \2/p' "$1"
+}
+
+fail=0
+while read -r name base; do
+    fresh="$(medians "$FRESH_DIR/BENCH_schedulers.json" |
+        awk -v n="$name" '$1 == n {print $2}')"
+    if [ -z "$fresh" ]; then
+        echo "bench_check: MISSING   $name (in baseline, absent from fresh run)"
+        fail=1
+    elif [ "$((fresh * 100))" -gt "$((base * (100 + THRESHOLD_PCT)))" ]; then
+        echo "bench_check: REGRESSED $name: median ${base} ns -> ${fresh} ns"
+        fail=1
+    else
+        echo "bench_check: ok        $name: median ${base} ns -> ${fresh} ns"
+    fi
+done < <(medians "$BASELINE")
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_check: FAILED (medians above are noisy on loaded machines;" \
+        "rerun, or refresh the baseline via scripts/bench.sh if the change is intended)"
+    exit 1
+fi
+echo "bench_check: OK"

@@ -36,4 +36,11 @@ for target in substrates schedulers simulation; do
         cargo bench -q --offline --bench "$target"
 done
 
+# Opt-in perf-regression gate (off by default: CI container timings are
+# too noisy to hard-fail every run on).
+if [ "${SPEC_BENCH_CHECK:-0}" = "1" ]; then
+    echo "== bench_check (SPEC_BENCH_CHECK=1)"
+    scripts/bench_check.sh
+fi
+
 echo "verify: OK"
