@@ -47,10 +47,16 @@ fn bench_table1_schedulers(h: &mut Harness) {
 }
 
 /// Beyond-Table-1 stress designs: Findmin at N = 64 (longer
-/// steady-state pipeline) and the sequential two-loop Findmin variant
-/// (fold index across loop boundaries).
+/// steady-state pipeline), the sequential two-loop Findmin variant
+/// (fold index across loop boundaries, distinct memories), and the
+/// shared-memory variant (cross-loop serialization through the
+/// loop-exit order token).
 fn bench_stress_schedulers(h: &mut Harness) {
-    for w in [workloads::findmin64(), workloads::findmin_two_pass()] {
+    for w in [
+        workloads::findmin64(),
+        workloads::findmin_two_pass(),
+        workloads::findmin_shared_mem(),
+    ] {
         for mode in [Mode::NonSpeculative, Mode::Speculative] {
             bench_schedule(h, "stress", &w, mode);
         }

@@ -2,9 +2,14 @@
 //! print its headline numbers. Handy for iterating on scheduler changes
 //! without running the full Table-1 harness.
 //!
+//! On a scheduling deadlock the full [`wavesched::StuckReport`] is
+//! rendered (blocked instances, unresolved dependencies, starved FU
+//! classes, loop bookkeeping) and the probe exits non-zero instead of
+//! panicking.
+//!
 //! Usage: `cargo run --release -p spec-bench --bin probe -- <workload> <ws|single|spec> [runs]`
 
-use wavesched::Mode;
+use wavesched::{Mode, SchedError};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,16 +27,33 @@ fn main() {
             workloads::dsp_clip(),
             workloads::findmin64(),
             workloads::findmin_two_pass(),
+            workloads::findmin_shared_mem(),
             workloads::triangle(),
         ])
         .find(|w| w.name.eq_ignore_ascii_case(name))
         .unwrap_or_else(|| {
             eprintln!(
                 "unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin \
-                 Findmin64 FindminTwoPass Triangle Fig4 DspClip"
+                 Findmin64 FindminTwoPass FindminSharedMem Triangle Fig4 DspClip"
             );
             std::process::exit(2);
         });
+    // Dry-run the scheduler first (same profile + config as
+    // `run_workload`) so a deadlock prints the structured liveness
+    // report instead of panicking with just the headline.
+    {
+        let vectors = w.vectors(runs);
+        let probs = hls_sim::profile(&w.cdfg, &vectors, &w.mem_init);
+        let mut cfg = wavesched::SchedConfig::new(mode);
+        cfg.max_spec_depth = w.spec_depth;
+        if let Err(e) = wavesched::schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg) {
+            eprintln!("{} / {mode}: scheduling failed: {e}", w.name);
+            if let SchedError::Stuck(report) = e {
+                eprint!("{report}");
+            }
+            std::process::exit(1);
+        }
+    }
     let t = std::time::Instant::now();
     let r = spec_bench::run_workload(&w, mode, runs);
     println!(

@@ -526,6 +526,16 @@ impl CdfgBuilder {
                 init,
             };
             self.ops[first.index()].carried_order_deps.push(carried);
+            // The plain order dep `chain_mem_access` gave the first
+            // in-loop access (on the pre-loop token) is subsumed by the
+            // carried chain's iteration-0 init; keeping both would make
+            // every iteration re-query the pre-loop token, which dangles
+            // once the producing context is garbage-collected.
+            if let Some(BSrc::Op(prev)) = frame.token_before[mem_idx] {
+                self.ops[first.index()]
+                    .order_deps
+                    .retain(|d| !matches!(*d, BSrc::Op(p) if p == prev));
+            }
             // Post-loop accesses must follow the ordering chain's value at
             // loop exit.
             let tok = CarriedId(u32::try_from(self.carried.len()).expect("too many carried vars"));

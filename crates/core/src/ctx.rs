@@ -329,6 +329,21 @@ pub(crate) struct Ctx {
     /// facts that keeps lagging work schedulable without unbounded
     /// bookkeeping.
     pub work_floor: Arc<BTreeMap<(LoopId, Iter), u32>>,
+    /// Loop-exit order tokens whose serialization chain settled during
+    /// the current state *and* whose producing loop is proven exited on
+    /// this path, awaiting promotion to [`Ctx::discharged`] at the next
+    /// state boundary. The recorded key (if any) is the predecessor
+    /// token that settled the chain, kept so same-state port exclusivity
+    /// still applies until the boundary.
+    pub exit_pending: Arc<BTreeMap<InstId, Option<Key>>>,
+    /// Exit-pass instances whose order token is permanently discharged
+    /// on this path: the producing loop exited and its serialization
+    /// chain settled in an earlier state, so consumers no longer carry a
+    /// token constraint. This is the fact that survives after the
+    /// producing loop's resolution history and floors are pruned —
+    /// without it, re-deriving the exit token from pruned history
+    /// deadlocks every post-loop access.
+    pub discharged: Arc<BTreeSet<InstId>>,
 }
 
 impl Ctx {
@@ -382,9 +397,30 @@ impl Ctx {
         Arc::make_mut(&mut self.work_floor)
     }
 
+    /// Mutable access to `exit_pending` (clones the map if shared).
+    pub fn exit_pending_mut(&mut self) -> &mut BTreeMap<InstId, Option<Key>> {
+        Arc::make_mut(&mut self.exit_pending)
+    }
+
+    /// Mutable access to `discharged` (clones the set if shared).
+    pub fn discharged_mut(&mut self) -> &mut BTreeSet<InstId> {
+        Arc::make_mut(&mut self.discharged)
+    }
+
     /// Applies end-of-state timing: depths reset, multi-cycle results get
-    /// one state closer to ready, busy units tick down.
+    /// one state closer to ready, busy units tick down. Pending loop-exit
+    /// discharges become permanent here — promotion at the state boundary
+    /// keeps same-state port exclusivity intact (a consumer relaxed by a
+    /// discharge can only issue in a *later* state than the predecessor
+    /// access it was ordered after).
     pub fn tick(&mut self) {
+        if !self.exit_pending.is_empty() {
+            let pend = std::mem::take(Arc::make_mut(&mut self.exit_pending));
+            let discharged = self.discharged_mut();
+            for inst in pend.into_keys() {
+                discharged.insert(inst);
+            }
+        }
         if self
             .avail
             .values()
@@ -423,7 +459,14 @@ impl Ctx {
     /// find the guards the cofactor actually changes; collections with
     /// no affected guard are never written, so their copy-on-write
     /// storage stays shared with the sibling branch.
-    pub fn cofactor(&mut self, mgr: &mut BddManager, var: Cond, value: bool, inst: CondInst) {
+    pub fn cofactor(
+        &mut self,
+        mgr: &mut BddManager,
+        var: Cond,
+        value: bool,
+        inst: CondInst,
+        trace: bool,
+    ) {
         self.resolved_mut().insert(inst, value);
         let changed: Vec<(Key, Guard)> = self
             .avail
@@ -453,7 +496,6 @@ impl Ctx {
             })
             .collect();
         if !changed.is_empty() {
-            let trace = std::env::var_os("WAVESCHED_TRACE").is_some();
             let cands = self.cands_mut();
             for &(i, ng) in &changed {
                 if ng.is_false() && trace {
@@ -738,6 +780,20 @@ impl Ctx {
             let (op, iter) = it.pair(inst);
             let _ = write!(s, "D{}@{:?};", op, shift_iter(op, iter));
         }
+        let mut disc: Vec<InstId> = self.discharged.iter().copied().collect();
+        disc.sort_by(|a, b| cmp_inst(it, *a, *b));
+        for inst in disc {
+            let (op, iter) = it.pair(inst);
+            let _ = write!(s, "X{}@{:?};", op, shift_iter(op, iter));
+        }
+        let mut pend: Vec<(InstId, Option<Key>)> =
+            self.exit_pending.iter().map(|(i, k)| (*i, *k)).collect();
+        pend.sort_by(|a, b| cmp_inst(it, a.0, b.0));
+        for (inst, tok) in pend {
+            let (op, iter) = it.pair(inst);
+            let t = tok.as_ref().map(fmt_key).unwrap_or_else(|| "-".into());
+            let _ = write!(s, "E{}@{:?}>{t};", op, shift_iter(op, iter));
+        }
         for (class, busy) in self.fu_busy.iter() {
             let _ = write!(s, "F{class}:{busy:?};");
         }
@@ -879,11 +935,17 @@ mod tests {
             },
         );
         ctx.fu_busy_mut().insert("mult1".into(), vec![2, 1]);
+        let pass = it.id(OpId::new(7), &[]);
+        ctx.exit_pending_mut().insert(pass, None);
         ctx.tick();
         let info = ctx.avail.values().next().unwrap();
         assert_eq!(info.ready_in, 1);
         assert_eq!(info.depth, 0.0);
         assert_eq!(ctx.fu_busy["mult1"], vec![1]);
+        assert!(
+            ctx.exit_pending.is_empty() && ctx.discharged.contains(&pass),
+            "pending exit discharges promote at the state boundary"
+        );
     }
 
     #[test]
@@ -907,7 +969,7 @@ mod tests {
         let false_guard = mgr.literal(var, false);
         ctx.obligations_mut()
             .insert(it.id(OpId::new(2), &[0]), false_guard);
-        ctx.cofactor(&mut mgr, var, true, inst);
+        ctx.cofactor(&mut mgr, var, true, inst, false);
         assert_eq!(ctx.avail.len(), 1, "validated value survives");
         assert!(ctx.avail.values().next().unwrap().guard.is_true());
         assert!(ctx.obligations.is_empty(), "false-guard obligation dropped");

@@ -7,11 +7,12 @@
 //! folding.
 
 use crate::ctx::{
-    cmp_src, AvailInfo, Candidate, CondInst, CondTable, Ctx, InstId, InstTable, Iter, Key, ValSrc,
+    cmp_inst, cmp_src, AvailInfo, Candidate, CondInst, CondTable, Ctx, InstId, InstTable, Iter,
+    Key, ValSrc,
 };
 use crate::resolve::{Res, Tables};
 use crate::sig::SigBuilder;
-use crate::{Mode, SchedConfig, SchedError};
+use crate::{BlockedInst, Mode, SchedConfig, SchedError, StuckReport};
 use cdfg::analysis::{self, BranchProbs};
 use cdfg::{Cdfg, LoopId, OpId, PortKind};
 use guards::{BddManager, Cond, CondProbs, Guard};
@@ -179,6 +180,11 @@ struct Engine<'a> {
     prob_memo: FxHashMap<Guard, f64>,
     /// Reusable support-set buffer for guard walks on hot paths.
     supp_scratch: Vec<Cond>,
+    /// `WAVESCHED_TRACE` presence, sampled once at construction — the
+    /// issue/sweep loops are far too hot for per-call env lookups.
+    trace: bool,
+    /// `WAVESCHED_DEBUG` presence, sampled once at construction.
+    debug: bool,
     stats: SchedStats,
 }
 
@@ -225,6 +231,8 @@ impl<'a> Engine<'a> {
             crit_cache: FxHashMap::default(),
             prob_memo: FxHashMap::default(),
             supp_scratch: Vec::new(),
+            trace: std::env::var_os("WAVESCHED_TRACE").is_some(),
+            debug: std::env::var_os("WAVESCHED_DEBUG").is_some(),
             stats: SchedStats::default(),
         }
     }
@@ -342,7 +350,7 @@ impl<'a> Engine<'a> {
             let branches = self.partition(ctx);
             let t_part = t1.elapsed();
             self.stats.phases.partition.add(t_part);
-            if std::env::var_os("WAVESCHED_TRACE").is_some() {
+            if self.trace {
                 eprintln!(
                     "state {sid}: grow={t_grow:?} partition={t_part:?} branches={} bdd={}",
                     branches.len(),
@@ -368,7 +376,7 @@ impl<'a> Engine<'a> {
                 let tg = std::time::Instant::now();
                 self.gc(&mut bctx);
                 let t_gc = tg.elapsed();
-                if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                if self.trace {
                     eprintln!(
                         "  branch: sweep={t_sw:?} gc={t_gc:?} avail={} cands={}",
                         bctx.avail.len(),
@@ -395,9 +403,9 @@ impl<'a> Engine<'a> {
                     let tid = *tid;
                     self.stats.phases.fold.add(t_fold.elapsed());
                     if tid == sid && when.is_empty() && self.stg.state(sid).ops.is_empty() {
-                        return Err(SchedError::Stuck(format!(
-                            "livelock: empty state {sid} folds onto itself"
-                        )));
+                        let mut r = self.stuck_report(&mut bctx);
+                        r.headline = format!("livelock: empty state {sid} folds onto itself");
+                        return Err(SchedError::Stuck(r));
                     }
                     self.stats.folds += 1;
                     self.stg.state_mut(sid).transitions.push(Transition {
@@ -407,7 +415,7 @@ impl<'a> Engine<'a> {
                     });
                 } else {
                     let nid = self.stg.add_state();
-                    if std::env::var_os("WAVESCHED_DEBUG").is_some() {
+                    if self.debug {
                         eprintln!(
                             "new state {nid}: avail={} cands={} obls={} resolved={} sig={sig:032x}",
                             bctx.avail.len(),
@@ -485,7 +493,7 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((_, idx, start)) = best else { break };
-            if std::env::var_os("WAVESCHED_TRACE").is_some() {
+            if self.trace {
                 let c = &ctx.cands[idx];
                 let (op, iter) = self.it.pair(c.inst);
                 eprintln!(
@@ -506,38 +514,7 @@ impl<'a> Engine<'a> {
                 || !ctx.pending_conds.is_empty()
                 || ctx.fu_busy.values().any(|v| !v.is_empty());
             if !waiting && !ctx.obligations.is_empty() {
-                if std::env::var_os("WAVESCHED_DEBUG").is_some() {
-                    eprintln!("--- stuck ctx dump ---");
-                    for (k, info) in ctx.avail.iter() {
-                        let (op, iter) = self.it.pair(k.inst);
-                        eprintln!(
-                            "avail {:?}@{:?}v{} guard={} ready={}",
-                            op, iter, k.version, info.guard, info.ready_in
-                        );
-                    }
-                    for c in ctx.cands.iter() {
-                        let (op, iter) = self.it.pair(c.inst);
-                        eprintln!(
-                            "cand {:?}@{:?} ops={:?} toks={:?} guard={}",
-                            op, iter, c.operands, c.tokens, c.guard
-                        );
-                    }
-                    for (inst, gd) in ctx.obligations.iter() {
-                        let (op, iter) = self.it.pair(*inst);
-                        eprintln!("oblig {:?}@{:?} guard={gd}", op, iter);
-                    }
-                    eprintln!(
-                        "resolved={:?} floor={:?} horizon={:?} done={:?}",
-                        ctx.resolved, ctx.floor, ctx.horizon, ctx.done
-                    );
-                }
-                let inst = ctx.obligations.keys().next().expect("nonempty");
-                let (op, iter) = self.it.pair(*inst);
-                return Err(SchedError::Stuck(format!(
-                    "no progress towards {}{:?} — check the allocation",
-                    self.g.op(op).name(),
-                    iter
-                )));
+                return Err(SchedError::Stuck(self.stuck_report(ctx)));
             }
         }
         Ok(())
@@ -621,6 +598,211 @@ impl<'a> Engine<'a> {
             }
         }
         Some(start)
+    }
+
+    /// Builds the structured liveness report for a stuck context: every
+    /// candidate that cannot issue (and why), every obligation with no
+    /// candidate at all (and what its resolution is waiting on), the
+    /// starved functional-unit classes, and the loop bookkeeping.
+    ///
+    /// Only runs on the failure path, so it may be as slow as it likes;
+    /// it re-runs the [`Self::feasible`] checks one by one to attribute
+    /// the first failing one.
+    fn stuck_report(&mut self, ctx: &mut Ctx) -> StuckReport {
+        let mut starved: BTreeSet<String> = BTreeSet::new();
+        let mut blocked: Vec<BlockedInst> = Vec::new();
+        let cands: Vec<Candidate> = ctx.cands.iter().cloned().collect();
+        for cand in &cands {
+            let (op, iter) = {
+                let (o, i) = self.it.pair(cand.inst);
+                (o, i.clone())
+            };
+            let reason = self.why_infeasible(ctx, cand, &mut starved);
+            let guard = self.guard_sop(cand.guard);
+            blocked.push(BlockedInst {
+                op: self.g.op(op).name().to_string(),
+                iter,
+                guard,
+                reason,
+            });
+        }
+        let mut obls: Vec<(InstId, Guard)> =
+            ctx.obligations.iter().map(|(i, g)| (*i, *g)).collect();
+        obls.sort_by(|a, b| cmp_inst(&self.it, a.0, b.0));
+        for (inst, gd) in &obls {
+            if cands.iter().any(|c| c.inst == *inst) {
+                continue;
+            }
+            let (op, iter) = {
+                let (o, i) = self.it.pair(*inst);
+                (o, i.clone())
+            };
+            let reason = self.why_no_candidate(ctx, op, &iter);
+            let guard = self.guard_sop(*gd);
+            blocked.push(BlockedInst {
+                op: self.g.op(op).name().to_string(),
+                iter,
+                guard,
+                reason,
+            });
+        }
+        let headline = match obls.first() {
+            Some((inst, _)) => {
+                let (op, iter) = self.it.pair(*inst);
+                format!(
+                    "no progress towards {}{:?} — check the allocation",
+                    self.g.op(op).name(),
+                    iter
+                )
+            }
+            None => "no progress".into(),
+        };
+        let mut loop_state = Vec::new();
+        for ((l, prefix), h) in ctx.horizon.iter() {
+            let fl = ctx.floor.get(&(*l, prefix.clone())).copied().unwrap_or(0);
+            let wf = ctx
+                .work_floor
+                .get(&(*l, prefix.clone()))
+                .copied()
+                .unwrap_or(0);
+            loop_state.push(format!(
+                "loop l{}@{:?}: horizon={h} floor={fl} work_floor={wf}",
+                l.index(),
+                prefix
+            ));
+        }
+        StuckReport {
+            headline,
+            starved_classes: starved.into_iter().collect(),
+            blocked,
+            loop_state,
+        }
+    }
+
+    /// Mirrors [`Self::feasible`] for a candidate in a *stalled* (empty)
+    /// state and names the first failing check. The per-state
+    /// `issued`/`class_use` sets are empty by construction: nothing was
+    /// issued in a stalled state.
+    fn why_infeasible(
+        &mut self,
+        ctx: &Ctx,
+        cand: &Candidate,
+        starved: &mut BTreeSet<String>,
+    ) -> String {
+        let kind = self.g.op(self.it.op(cand.inst)).kind();
+        if kind.has_side_effect() && !cand.guard.is_true() {
+            return "side effect awaiting full control resolution (never speculates)".into();
+        }
+        match self.cfg.mode {
+            Mode::NonSpeculative => {
+                if !cand.guard.is_true() {
+                    return "guard unresolved (non-speculative mode)".into();
+                }
+            }
+            Mode::SinglePath => {
+                if !cand.guard.is_true()
+                    && (self.mgr.support_len(cand.guard) > self.cfg.max_spec_depth
+                        || !self.predicted_cube(cand.guard))
+                {
+                    return "guard off the predicted path or beyond the speculation depth".into();
+                }
+            }
+            Mode::Speculative => {
+                if self.mgr.support_len(cand.guard) > self.cfg.max_spec_depth {
+                    return format!(
+                        "guard support {} exceeds max_spec_depth {}",
+                        self.mgr.support_len(cand.guard),
+                        self.cfg.max_spec_depth
+                    );
+                }
+            }
+        }
+        for t in cand.tokens.iter().flatten() {
+            if !ctx.avail.contains_key(t) {
+                let (op, iter) = self.it.pair(t.inst);
+                return format!(
+                    "memory-order token {}{:?}v{} is not live",
+                    self.g.op(op).name(),
+                    iter,
+                    t.version
+                );
+            }
+        }
+        for (i, o) in cand.operands.iter().enumerate() {
+            if let ValSrc::Key(k) = o {
+                let Some(info) = ctx.avail.get(k) else {
+                    let (op, iter) = self.it.pair(k.inst);
+                    return format!(
+                        "operand {i} version {}{:?}v{} was collected",
+                        self.g.op(op).name(),
+                        iter,
+                        k.version
+                    );
+                };
+                if info.ready_in > 0 {
+                    return format!("operand {i} still in flight ({} cycles)", info.ready_in);
+                }
+            }
+        }
+        if let Some(s) = &self.lib.spec_for(kind) {
+            let class = classify(kind);
+            let cs = class.to_string();
+            let mut used = 0;
+            if !s.pipelined {
+                used += ctx.fu_busy.get(&cs).map_or(0, |v| v.len() as u32);
+            }
+            if !self.alloc.limit(class).allows(used) {
+                if !self.alloc.limit(class).allows(0) {
+                    starved.insert(cs.clone());
+                    return format!("allocation grants zero {cs} units");
+                }
+                return format!("every {cs} unit is busy with multi-cycle work");
+            }
+        }
+        "feasible by every static check (transient stall)".into()
+    }
+
+    /// Explains why an obligation has no candidate at all: an unsettled
+    /// memory-order token, an operand with no derivable value version,
+    /// or the version/speculation-depth caps.
+    fn why_no_candidate(&mut self, ctx: &mut Ctx, op: OpId, iter: &Iter) -> String {
+        let order: Vec<PortKind> = self.g.op(op).order_deps().to_vec();
+        let ports: Vec<PortKind> = self.g.op(op).ports().to_vec();
+        let mut r = self.res();
+        for p in &order {
+            if r.token(ctx, p, op, iter).is_err() {
+                return format!(
+                    "memory-order token through {} not settled",
+                    describe_port(r.g, p)
+                );
+            }
+        }
+        for (i, p) in ports.iter().enumerate() {
+            if r.port_versions(ctx, p, op, iter).is_empty() {
+                return format!(
+                    "no value version for operand {i} ({})",
+                    describe_port(r.g, p)
+                );
+            }
+        }
+        "candidates exist but exceeded the version or speculation-depth cap".into()
+    }
+
+    /// Renders a guard as a sum of products over named condition
+    /// instances (`name_iter0_iter1` literals).
+    fn guard_sop(&mut self, gd: Guard) -> String {
+        let ct = &self.ct;
+        let it = &self.it;
+        let g = self.g;
+        self.mgr.to_sop_string(gd, &|c| {
+            let (op, iter) = it.pair(ct.inst_of(c));
+            let mut s = g.op(op).name().to_string();
+            for i in iter {
+                s.push('_');
+                s.push_str(&i.to_string());
+            }
+            s
+        })
     }
 
     /// `true` if the guard is a cube whose every literal matches the
@@ -787,7 +969,7 @@ impl<'a> Engine<'a> {
                     );
                     self.gen_epoch.insert(inst, epoch);
                     if n > 0 {
-                        if std::env::var_os("WAVESCHED_TRACE").is_some() {
+                        if self.trace {
                             eprintln!("sweep: +{n} for {:?}@{:?}", op.id(), iter);
                         }
                         added += n;
@@ -1186,6 +1368,27 @@ impl<'a> Engine<'a> {
                 done.remove(&i);
             }
         }
+        // Discharged loop-exit tokens die the same way `done` entries do:
+        // once the exit pass's own iteration leaves the enumeration
+        // domain no consumer can query it again, and a stale entry would
+        // block folding. (Top-level passes have an empty loop path and
+        // are never below the domain — they persist, identically in
+        // every steady-state context.)
+        let dead: Vec<InstId> = ctx
+            .discharged
+            .iter()
+            .filter(|inst| {
+                let (op, iter) = it.pair(**inst);
+                below(op, iter)
+            })
+            .copied()
+            .collect();
+        if !dead.is_empty() {
+            let discharged = ctx.discharged_mut();
+            for i in dead {
+                discharged.remove(&i);
+            }
+        }
         // Horizons/floors: keep any loop that a live instance indexes, or
         // that the fanin cone of a pending obligation / candidate can
         // still reference through exit views.
@@ -1269,7 +1472,7 @@ impl<'a> Engine<'a> {
         for val in [true, false] {
             let mut c2 = ctx.clone();
             let t = Instant::now();
-            c2.cofactor(&mut self.mgr, var, val, inst);
+            c2.cofactor(&mut self.mgr, var, val, inst, self.trace);
             self.stats.phases.bdd.add(t.elapsed());
             self.bump_floor(&mut c2, inst, val);
             let mut w2 = when.clone();
@@ -1463,6 +1666,22 @@ fn cand_cmp(it: &InstTable, a: &Candidate, b: &Candidate) -> Ordering {
             }
         }
     })
+}
+
+/// Human-readable description of a dependency port for stall
+/// diagnostics.
+fn describe_port(g: &Cdfg, p: &PortKind) -> String {
+    match *p {
+        PortKind::Wire(s) => format!("wire from {}", g.op(s).name()),
+        PortKind::Carried { lp, src, .. } => format!(
+            "loop l{} carried value from {}",
+            lp.index(),
+            g.op(src).name()
+        ),
+        PortKind::Exit { lp, src, .. } => {
+            format!("loop l{} exit of {}", lp.index(), g.op(src).name())
+        }
+    }
 }
 
 fn key_to_inst(it: &InstTable, k: &Key) -> OpInst {
@@ -1666,7 +1885,62 @@ mod tests {
             &SchedConfig::new(Mode::Speculative),
         )
         .unwrap_err();
-        assert!(matches!(err, SchedError::Stuck(_)), "{err}");
+        let SchedError::Stuck(report) = err else {
+            panic!("expected Stuck, got {err}");
+        };
+        let mult = classify(cdfg::OpKind::Mul).to_string();
+        assert!(
+            report.starved_classes.contains(&mult),
+            "starved class named: {report}"
+        );
+        assert!(
+            !report.blocked.is_empty(),
+            "at least one blocked instance: {report}"
+        );
+        assert!(
+            report
+                .blocked
+                .iter()
+                .any(|b| b.reason.contains(&format!("zero {mult} units"))),
+            "blocked reason attributes the starvation: {report}"
+        );
+        assert!(
+            report.headline.contains("check the allocation"),
+            "headline kept the legacy one-liner: {report}"
+        );
+    }
+
+    #[test]
+    fn starved_loop_reports_stuck_without_hanging() {
+        // A loop whose body needs a never-granted unit: the engine must
+        // diagnose the starvation (or trip the iteration cap) rather
+        // than unroll forever. The tight cap bounds the test either way.
+        let g = compile(
+            "design d { input n; output o; var i = 0; var s = 0;
+             while (i < n) { s = s + i * 2; i = i + 1; } o = s; }",
+        );
+        let mut cfg = SchedConfig::new(Mode::Speculative);
+        cfg.max_iterations = 500;
+        let err = schedule(
+            &g,
+            &Library::dac98(),
+            &Allocation::new()
+                .with(FuClass::Adder, 1)
+                .with(FuClass::Comparator, 1)
+                .with(FuClass::Incrementer, 1), // no multiplier
+            &BranchProbs::new(),
+            &cfg,
+        )
+        .unwrap_err();
+        match err {
+            SchedError::Stuck(report) => {
+                let mult = classify(cdfg::OpKind::Mul).to_string();
+                assert!(report.starved_classes.contains(&mult), "{report}");
+                assert!(!report.blocked.is_empty(), "{report}");
+            }
+            SchedError::IterationLimit(n) => assert_eq!(n, 500),
+            other => panic!("expected Stuck or IterationLimit, got {other}"),
+        }
     }
 
     #[test]

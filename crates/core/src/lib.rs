@@ -155,7 +155,9 @@ pub enum SchedError {
     /// The scheduler reached a context in which outstanding side effects
     /// exist but nothing is schedulable — a resource deadlock, e.g. an
     /// allocation that grants zero units of a class the design needs.
-    Stuck(String),
+    /// Carries a structured liveness report of what each blocked
+    /// instance is waiting for.
+    Stuck(StuckReport),
 }
 
 impl fmt::Display for SchedError {
@@ -163,12 +165,70 @@ impl fmt::Display for SchedError {
         match self {
             SchedError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
             SchedError::IterationLimit(n) => write!(f, "iteration limit of {n} exceeded"),
-            SchedError::Stuck(what) => write!(f, "scheduling deadlock: {what}"),
+            SchedError::Stuck(r) => write!(f, "scheduling deadlock: {}", r.headline),
         }
     }
 }
 
 impl std::error::Error for SchedError {}
+
+/// Structured liveness diagnosis of a scheduling deadlock: which
+/// instances are blocked, on what (operand versions, memory-order
+/// tokens, starved functional-unit classes), and the loop bookkeeping
+/// of the stuck context. [`fmt::Display`] renders the full multi-line
+/// report; [`SchedError::Stuck`]'s `Display` shows only the headline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StuckReport {
+    /// One-line summary (what the old string error carried).
+    pub headline: String,
+    /// Functional-unit classes required by some blocked candidate but
+    /// granted zero units by the allocation.
+    pub starved_classes: Vec<String>,
+    /// Every unsatisfied candidate and obligation in the stuck state.
+    pub blocked: Vec<BlockedInst>,
+    /// Per-loop bookkeeping lines (`horizon`/`floor`/`work_floor`) of
+    /// the stuck context, for cross-loop serialization diagnosis.
+    pub loop_state: Vec<String>,
+}
+
+impl fmt::Display for StuckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.headline)?;
+        if !self.starved_classes.is_empty() {
+            writeln!(
+                f,
+                "  starved FU classes: {}",
+                self.starved_classes.join(", ")
+            )?;
+        }
+        for b in &self.blocked {
+            writeln!(
+                f,
+                "  blocked {}{:?} guard={} — {}",
+                b.op, b.iter, b.guard, b.reason
+            )?;
+        }
+        for l in &self.loop_state {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One blocked operation instance inside a [`StuckReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedInst {
+    /// Operation name.
+    pub op: String,
+    /// Iteration vector of the instance.
+    pub iter: Vec<u32>,
+    /// Speculation guard, rendered as a sum of products over named
+    /// condition instances.
+    pub guard: String,
+    /// Why the instance cannot issue (unresolved memory-order token,
+    /// missing operand version, FU starvation, depth cap, …).
+    pub reason: String,
+}
 
 #[cfg(test)]
 mod tests {
@@ -192,8 +252,29 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SchedError::StateLimit(5).to_string().contains('5'));
-        assert!(SchedError::Stuck("no adder".into())
-            .to_string()
-            .contains("no adder"));
+        let r = StuckReport {
+            headline: "no adder".into(),
+            ..StuckReport::default()
+        };
+        assert!(SchedError::Stuck(r).to_string().contains("no adder"));
+    }
+
+    #[test]
+    fn stuck_report_display_lists_blockers() {
+        let r = StuckReport {
+            headline: "no progress towards out[]".into(),
+            starved_classes: vec!["multiplier".into()],
+            blocked: vec![BlockedInst {
+                op: "t0".into(),
+                iter: vec![1],
+                guard: "c_0".into(),
+                reason: "no multiplier allocated".into(),
+            }],
+            loop_state: vec!["loop l0: horizon=1 floor=0".into()],
+        };
+        let s = r.to_string();
+        assert!(s.contains("starved FU classes: multiplier"));
+        assert!(s.contains("blocked t0[1] guard=c_0 — no multiplier allocated"));
+        assert!(s.contains("loop l0"));
     }
 }

@@ -450,9 +450,13 @@ impl Res<'_> {
     /// predecessor's), `Ok(None)` when the predecessor can no longer
     /// execute on this path (bypass), and `Err(())` when the
     /// predecessor's fate is not yet settled (try again later).
+    ///
+    /// Takes the context mutably because settling a *loop-exit* token
+    /// records discharge evidence (see [`Res::settled`]); all other
+    /// cases only read.
     pub fn token(
         &mut self,
-        ctx: &Ctx,
+        ctx: &mut Ctx,
         port: &PortKind,
         consumer: OpId,
         iter: &Iter,
@@ -505,11 +509,31 @@ impl Res<'_> {
     /// Is the access instance `(op, iter)` settled: executed (returns its
     /// token key), or provably never executing on this path (returns
     /// `None` after checking *its* predecessor chain)?
-    fn settled(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Result<Option<Key>, ()> {
+    fn settled(&mut self, ctx: &mut Ctx, op: OpId, iter: &Iter) -> Result<Option<Key>, ()> {
         // Pass-throughs in the chain (exit views of tokens) forward to
         // their producer.
         if self.g.op(op).kind() == OpKind::Pass {
             let port = self.g.op(op).ports()[0];
+            if let PortKind::Exit { lp, .. } = port {
+                // A loop-exit token re-derives through the producing
+                // loop's resolution history, which GC prunes once the
+                // loop's dataflow retires — so the settle must be made
+                // *persistent* the moment it is provable. Once
+                // discharged, consumers carry no token constraint (the
+                // predecessor executed in an earlier state).
+                let inst = self.it.id(op, iter);
+                if ctx.discharged.contains(&inst) {
+                    return Ok(None);
+                }
+                let r = self.token(ctx, &port, op, iter);
+                if let Ok(tok) = r {
+                    if self.loop_exited(ctx, lp, iter) && ctx.exit_pending.get(&inst) != Some(&tok)
+                    {
+                        ctx.exit_pending_mut().insert(inst, tok);
+                    }
+                }
+                return r;
+            }
             return self.token(ctx, &port, op, iter);
         }
         if self.g.op(op).kind().is_source() {
@@ -550,6 +574,26 @@ impl Res<'_> {
             return Ok(best);
         }
         Err(())
+    }
+
+    /// Has loop `lp` (instantiated under the prefix of `base`) provably
+    /// exited on this path — i.e. is some continue condition at or below
+    /// the horizon already resolved *false*? Reads only already-interned
+    /// condition instances (`it.get`, never `it.id`/`ct.var`): discharge
+    /// probing must not allocate BDD variables, or equivalent contexts
+    /// would diverge in variable order.
+    fn loop_exited(&self, ctx: &Ctx, lp: LoopId, base: &[u32]) -> bool {
+        let cond = self.g.loop_info(lp).cond();
+        let h = ctx.horizon.get(&(lp, base.to_vec())).copied().unwrap_or(0);
+        let d = base.len();
+        let mut ci = base.to_vec();
+        ci.push(0);
+        (0..=h.saturating_add(1)).any(|k| {
+            ci[d] = k;
+            self.it
+                .get(cond, &ci)
+                .is_some_and(|i| ctx.resolved.get(&i) == Some(&false))
+        })
     }
 
     /// Attempts to build candidates for instance `(op, iter)`: the
@@ -681,6 +725,19 @@ impl Res<'_> {
                 .iter()
                 .position(|c| c.inst == inst && c.operands == operands)
             {
+                // A candidate pinning a token key that was invalidated
+                // (mis-speculated predecessor version dropped by
+                // cofactoring) can never issue; adopt the freshly
+                // settled tokens instead of deadlocking on the dead key.
+                let stale = ctx.cands[i]
+                    .tokens
+                    .iter()
+                    .flatten()
+                    .any(|t| !ctx.avail.contains_key(t));
+                if stale && ctx.cands[i].tokens != tokens {
+                    ctx.cands_mut()[i].tokens = tokens.clone();
+                    added += 1;
+                }
                 let widened = self.mgr.or(ctx.cands[i].guard, guard);
                 if widened != ctx.cands[i].guard {
                     ctx.cands_mut()[i].guard = widened;

@@ -55,6 +55,8 @@ const TAG_F: u64 = 6; // busy functional units of one class
 const TAG_H: u64 = 7; // loop horizon
 const TAG_L: u64 = 8; // loop floor
 const TAG_W: u64 = 9; // loop work floor
+const TAG_X: u64 = 10; // discharged loop-exit order token
+const TAG_E: u64 = 11; // pending loop-exit discharge
 
 /// Reusable hash-consing state for [`Ctx::signature_hash`], owned by
 /// the engine and shared across every signature of a run so atoms and
@@ -320,6 +322,34 @@ impl Ctx {
             entry_buf.push(TAG_D);
             let a = inst_atom(atoms, atom_buf, &sh, inst);
             entry_buf.push(a);
+            ids_buf.push(entries.intern(entry_buf));
+        }
+
+        let mut disc: Vec<InstId> = self.discharged.iter().copied().collect();
+        disc.sort_by(|a, b| cmp_inst(it, *a, *b));
+        for inst in disc {
+            entry_buf.clear();
+            entry_buf.push(TAG_X);
+            let a = inst_atom(atoms, atom_buf, &sh, inst);
+            entry_buf.push(a);
+            ids_buf.push(entries.intern(entry_buf));
+        }
+
+        let mut pend: Vec<(InstId, Option<Key>)> =
+            self.exit_pending.iter().map(|(i, k)| (*i, *k)).collect();
+        pend.sort_by(|a, b| cmp_inst(it, a.0, b.0));
+        for (inst, tok) in pend {
+            entry_buf.clear();
+            entry_buf.push(TAG_E);
+            let a = inst_atom(atoms, atom_buf, &sh, inst);
+            entry_buf.push(a);
+            match tok {
+                None => entry_buf.push(0),
+                Some(k) => {
+                    entry_buf.push(1);
+                    push_key(entry_buf, atoms, atom_buf, &sh, &vrank, &k);
+                }
+            }
             ids_buf.push(entries.intern(entry_buf));
         }
 

@@ -1025,6 +1025,55 @@ mod tests {
     }
 
     #[test]
+    fn ite_cache_bound_evicts_under_sustained_guard_algebra() {
+        // Regression for the bounded ite cache: a *sustained* synthetic
+        // guard workload (the shape schedulers generate — continuation
+        // chains ANDed with branch literals, ORed across exit
+        // iterations, then cofactored) must actually cycle a small
+        // cache, not just an adversarial 1-entry one — and eviction
+        // must never break canonicity against a roomy reference.
+        let mut m = BddManager::with_cache_capacity(64, 64);
+        let mut reference = BddManager::new();
+        let build = |mgr: &mut BddManager| -> Vec<Guard> {
+            let mut out = Vec::new();
+            for base in 0..12u32 {
+                // chain c_base ∧ c_{base+1} ∧ c_{base+2}
+                let mut chain = Guard::TRUE;
+                for k in 0..3 {
+                    let l = mgr.literal(Cond::new(base + k), true);
+                    chain = mgr.and(chain, l);
+                }
+                // exit-style disjunction with the negated successor
+                let nl = mgr.literal(Cond::new(base + 3), false);
+                let exit = mgr.and(chain, nl);
+                let alt = mgr.literal(Cond::new(base + 4), true);
+                let g = mgr.or(exit, alt);
+                out.push(mgr.cofactor(g, Cond::new(base + 1), true));
+            }
+            out
+        };
+        let got = build(&mut m);
+        let want = build(&mut reference);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(
+                m.support(*g),
+                reference.support(*w),
+                "eviction corrupted canonicity"
+            );
+        }
+        let s = m.cache_stats();
+        assert!(
+            s.ite_evictions > 0,
+            "64-entry ite cache never evicted under sustained algebra: {s}"
+        );
+        assert_eq!(
+            reference.cache_stats().evictions(),
+            0,
+            "reference manager must be roomy for the cross-check to mean anything"
+        );
+    }
+
+    #[test]
     fn sop_tokens_mirror_sop_strings() {
         // Token streams must agree with the string renderer on equality:
         // same guard → same stream, different guards → different streams,

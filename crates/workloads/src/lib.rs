@@ -336,9 +336,10 @@ pub fn findmin64() -> Workload {
 /// (`lim = best + margin`), so their steady states must fold
 /// independently — a bench-only stress of the fold index across loop
 /// boundaries (not part of [`all`]). The passes scan *distinct*
-/// memories: the serialization chain on a memory shared between two
-/// sequential loops deadlocks the scheduler (its order deps cross the
-/// loop horizons), which is why `B` exists.
+/// memories, which keeps this variant a pure two-port bench point with
+/// no serialization between the loops; [`findmin_shared_mem`] is the
+/// single-memory variant whose second loop is ordered after the first
+/// through the loop-exit token.
 pub fn findmin_two_pass() -> Workload {
     let mut w = Workload::build(
         "FindminTwoPass",
@@ -382,6 +383,56 @@ pub fn findmin_two_pass() -> Workload {
     w.mem_init.insert(
         "B".into(),
         vec![14, 52, 9, 77, 3, 61, 18, 90, 12, 44, 70, 8, 33, 95, 26, 15],
+    );
+    w
+}
+
+/// Shared-memory two-pass Findmin: the minimum scan over `A` followed
+/// by a second data-dependent loop re-reading **the same** memory `A`,
+/// counting the elements within `margin` of the minimum. The second
+/// loop's reads are serialized after the first loop's accesses through
+/// the loop-exit order token, so this is the canonical stress for
+/// memory disambiguation across sequential loop horizons (the
+/// cross-loop deadlock fixed in the loop-exit token rework). Not part
+/// of [`all`]; lives under the `stress/` bench prefix.
+pub fn findmin_shared_mem() -> Workload {
+    let mut w = Workload::build(
+        "FindminSharedMem",
+        "design findmin_shared {
+            input n, margin;
+            output idx, near;
+            mem A[16];
+            var i = 1;
+            var best = A[0];
+            var bi = 0;
+            while (i < n) {
+                var v = A[i];
+                if (v < best) { best = v; bi = i; }
+                i = i + 1;
+            }
+            var j = 0;
+            var c = 0;
+            var lim = best + margin;
+            while (j < n) {
+                var u = A[j];
+                if (u < lim) { c = c + 1; }
+                j = j + 1;
+            }
+            idx = bi;
+            near = c;
+        }",
+        Allocation::new()
+            .with(FuClass::Adder, 1)
+            .with(FuClass::Comparator, 2)
+            .with(FuClass::EqComparator, 2)
+            .with(FuClass::Incrementer, 1),
+        535,
+        10.0,
+        16,
+    );
+    w.mem_init.insert(
+        "A".into(),
+        vec![93, 27, 64, 11, 85, 42, 7, 58, 31, 99, 16, 73, 5, 88, 49, 22],
     );
     w
 }
@@ -521,6 +572,7 @@ mod tests {
             fig4(),
             findmin64(),
             findmin_two_pass(),
+            findmin_shared_mem(),
         ]) {
             let vectors = w.vectors(3);
             assert_eq!(vectors.len(), 3, "{}", w.name);
@@ -543,6 +595,7 @@ mod tests {
             fig4(),
             findmin64(),
             findmin_two_pass(),
+            findmin_shared_mem(),
         ]) {
             for v in w.vectors(3) {
                 let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
@@ -617,6 +670,21 @@ mod tests {
         // {14, 9, 3, 12, 8}.
         assert_eq!(out.outputs["idx"], 12);
         assert_eq!(out.outputs["near"], 5);
+    }
+
+    #[test]
+    fn findmin_shared_mem_counts_near_minimum_in_same_memory() {
+        let w = findmin_shared_mem();
+        let image = hls_lang::MemImage {
+            contents: w.mem_init.clone(),
+        };
+        let out =
+            hls_lang::interp::run(&w.program, &[("n", 16), ("margin", 10)], &image, 1_000_000)
+                .unwrap();
+        // min(A) = 5 at index 12; elements of A below 5 + 10 = 15 are
+        // {11, 7, 5}.
+        assert_eq!(out.outputs["idx"], 12);
+        assert_eq!(out.outputs["near"], 3);
     }
 
     #[test]
