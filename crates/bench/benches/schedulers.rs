@@ -32,6 +32,9 @@ fn bench_schedule(h: &mut Harness, prefix: &str, w: &workloads::Workload, mode: 
         ("phase_partition_ns", phases.partition),
         ("phase_signature_ns", phases.signature),
         ("phase_fold_ns", phases.fold),
+        ("phase_sweep_ns", phases.sweep),
+        ("phase_gc_ns", phases.gc),
+        ("phase_book_ns", phases.book),
         ("phase_bdd_ns", phases.bdd),
     ] {
         h.annotate(key, stat.ns);
@@ -47,13 +50,15 @@ fn bench_table1_schedulers(h: &mut Harness) {
 }
 
 /// Beyond-Table-1 stress designs: Findmin at N = 64 (longer
-/// steady-state pipeline), the sequential two-loop Findmin variant
-/// (fold index across loop boundaries, distinct memories), and the
-/// shared-memory variant (cross-loop serialization through the
-/// loop-exit order token).
+/// steady-state pipeline) and N = 1024 (iteration counts far past the
+/// fold horizon — grow-phase cost must stay flat, not superlinear), the
+/// sequential two-loop Findmin variant (fold index across loop
+/// boundaries, distinct memories), and the shared-memory variant
+/// (cross-loop serialization through the loop-exit order token).
 fn bench_stress_schedulers(h: &mut Harness) {
     for w in [
         workloads::findmin64(),
+        workloads::findmin1024(),
         workloads::findmin_two_pass(),
         workloads::findmin_shared_mem(),
     ] {

@@ -26,6 +26,7 @@ fn main() {
             workloads::fig4(),
             workloads::dsp_clip(),
             workloads::findmin64(),
+            workloads::findmin1024(),
             workloads::findmin_two_pass(),
             workloads::findmin_shared_mem(),
             workloads::triangle(),
@@ -34,7 +35,8 @@ fn main() {
         .unwrap_or_else(|| {
             eprintln!(
                 "unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin \
-                 Findmin64 FindminTwoPass FindminSharedMem Triangle Fig4 DspClip"
+                 Findmin64 Findmin1024 FindminTwoPass FindminSharedMem Triangle \
+                 Fig4 DspClip"
             );
             std::process::exit(2);
         });

@@ -344,6 +344,24 @@ pub(crate) struct Ctx {
     /// without it, re-deriving the exit token from pruned history
     /// deadlocks every post-loop access.
     pub discharged: Arc<BTreeSet<InstId>>,
+    /// Sweep event feed: operations whose candidate-generation inputs
+    /// changed on this path since the last sweep drained them. The
+    /// incremental Fig.-12 sweep regenerates candidates only for these
+    /// ops instead of rescanning the whole graph each pass. A `BTreeSet`
+    /// so the drain order is deterministic (op index order, the same
+    /// order the legacy full scan used). Not part of the canonical
+    /// signature: two contexts with equal schedules but different dirty
+    /// sets still fold — a folded context's dirty set is discarded, and
+    /// quiescence at state boundaries makes that sound.
+    pub sweep_dirty: Arc<BTreeSet<OpId>>,
+    /// Sweep-domain baseline: the `(lo, hi)` candidate iteration window
+    /// per loop context the last sweep ran against. Window growth
+    /// (horizon/lookahead raised `hi`, floor retreat lowered `lo`, or a
+    /// new loop context appeared) is itself a sweep event — the loop's
+    /// member ops must regenerate even though none of their operands
+    /// changed. Not part of the canonical signature (it is derivable
+    /// bookkeeping, like `sweep_dirty`).
+    pub sweep_domain: Arc<BTreeMap<(LoopId, Iter), (u32, u32)>>,
 }
 
 impl Ctx {
@@ -405,6 +423,16 @@ impl Ctx {
     /// Mutable access to `discharged` (clones the set if shared).
     pub fn discharged_mut(&mut self) -> &mut BTreeSet<InstId> {
         Arc::make_mut(&mut self.discharged)
+    }
+
+    /// Mutable access to `sweep_dirty` (clones the set if shared).
+    pub fn sweep_dirty_mut(&mut self) -> &mut BTreeSet<OpId> {
+        Arc::make_mut(&mut self.sweep_dirty)
+    }
+
+    /// Mutable access to `sweep_domain` (clones the map if shared).
+    pub fn sweep_domain_mut(&mut self) -> &mut BTreeMap<(LoopId, Iter), (u32, u32)> {
+        Arc::make_mut(&mut self.sweep_domain)
     }
 
     /// Applies end-of-state timing: depths reset, multi-cycle results get

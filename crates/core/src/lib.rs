@@ -129,6 +129,14 @@ pub struct SchedConfig {
     pub max_states: usize,
     /// Hard cap on scheduling worklist iterations (safety net).
     pub max_iterations: usize,
+    /// Testing oracle: run the candidate sweep in reference mode —
+    /// regenerate every op each pass and rebuild the
+    /// criticality-ordered ready list by a full re-sort after every
+    /// issue — instead of the incremental event-driven sweep.
+    /// Schedules must be identical either way; differential tests
+    /// compare the two. Off by default (the incremental sweep is
+    /// asymptotically cheaper and is the production path).
+    pub reference_sweep: bool,
 }
 
 impl SchedConfig {
@@ -140,6 +148,7 @@ impl SchedConfig {
             max_versions: 4,
             max_states: 2048,
             max_iterations: 100_000,
+            reference_sweep: false,
         }
     }
 }

@@ -22,9 +22,9 @@
 //! context (candidate creation, literal allocation, version lookups), so
 //! the recursive walk itself allocates no instance bookkeeping.
 
-use crate::ctx::{cmp_key, Candidate, Ctx, InstTable, Iter, Key, ValSrc};
+use crate::ctx::{cmp_key, Candidate, Ctx, InstId, InstTable, Iter, Key, ValSrc};
 use cdfg::{Cdfg, CtrlKind, LoopId, OpId, OpKind, PortKind};
-use guards::{BddManager, Guard};
+use guards::{BddManager, ConjCache, Guard};
 use spec_support::fxhash::FxHashMap;
 
 /// Immutable per-run scheduling tables shared by resolution and the
@@ -56,6 +56,50 @@ impl Tables {
     }
 }
 
+/// Batched guard-conjunction memo: caches whole control guards and
+/// loop-continuation prefix products so candidates sharing a control
+/// prefix build its `ite` chain through the BDD manager once.
+///
+/// Cached guards collapse resolved conditions and floored iterations to
+/// constants, so entries are only valid while the context's `resolved`
+/// map and per-loop floors are frozen. The engine clears the memo at
+/// every boundary where those change: schedule start, state entry, and
+/// the top of each cofactored branch.
+#[derive(Debug, Default)]
+pub(crate) struct GuardMemo {
+    /// Full control guards keyed by the target instance.
+    pub ctrl: ConjCache<InstId>,
+    /// Continuation prefix products `c_0 ∧ … ∧ c_m`, keyed by the
+    /// condition instance at the prefix's last element `m`. All chain
+    /// call sites range from iteration 0, so one cache entry per chain
+    /// element serves every deeper candidate of the same loop context.
+    pub chain: ConjCache<InstId>,
+}
+
+impl GuardMemo {
+    /// Invalidates both caches (a resolution/floor event ended the
+    /// validity window).
+    pub fn clear(&mut self) {
+        self.ctrl.clear();
+        self.chain.clear();
+    }
+}
+
+/// One mutation [`Res::gen_candidates`] performed on `ctx.cands`,
+/// identified by candidate index. The engine replays these against its
+/// criticality-ordered ready structure instead of re-scanning the
+/// candidate list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CandEvent {
+    /// `cands[i]` is a brand-new candidate.
+    Added(usize),
+    /// `cands[i]`'s guard was widened (OR-ed with a new combination).
+    Widened(usize),
+    /// `cands[i]` adopted freshly settled ordering tokens (guard and
+    /// criticality unchanged).
+    Retokened(usize),
+}
+
 /// Bundle of mutable scheduling state threaded through resolution.
 pub(crate) struct Res<'a> {
     pub g: &'a Cdfg,
@@ -63,6 +107,8 @@ pub(crate) struct Res<'a> {
     pub mgr: &'a mut BddManager,
     pub ct: &'a mut crate::ctx::CondTable,
     pub it: &'a mut InstTable,
+    pub memo: &'a mut GuardMemo,
+    pub events: &'a mut Vec<CandEvent>,
 }
 
 impl Res<'_> {
@@ -99,7 +145,22 @@ impl Res<'_> {
     /// The control guard of instance `(op, iter)`: branch literals plus
     /// the full loop continuation chains (`c_0 ∧ … ∧ c_k` for body
     /// members, `c_0 ∧ … ∧ c_{k−1}` for condition-cone members).
+    /// Memoized per instance for the current validity window — the gc
+    /// and sweep passes re-derive the same guards many times per state.
     pub fn ctrl_guard(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Guard {
+        if self.g.op(op).ctrl_deps().is_empty() {
+            return Guard::TRUE;
+        }
+        let inst = self.it.id(op, iter);
+        if let Some(g) = self.memo.ctrl.get(&inst) {
+            return g;
+        }
+        let g = self.ctrl_guard_uncached(ctx, op, iter);
+        self.memo.ctrl.insert(inst, g);
+        g
+    }
+
+    fn ctrl_guard_uncached(&mut self, ctx: &Ctx, op: OpId, iter: &Iter) -> Guard {
         let mut acc = Guard::TRUE;
         let deps: Vec<cdfg::CtrlDep> = self.g.op(op).ctrl_deps().to_vec();
         for dep in deps {
@@ -133,21 +194,71 @@ impl Res<'_> {
         acc
     }
 
+    /// Conjoins `acc` with the continuation prefix product
+    /// `lit(cond@0) ∧ … ∧ lit(cond@end)`. Every call site ranges from
+    /// iteration 0, so the product is independent of `acc` and shared
+    /// through [`GuardMemo::chain`] across all candidates of the loop
+    /// context. Literal allocation order matches the legacy incremental
+    /// fold: a prefix that collapses to FALSE at element `m` never
+    /// allocates literals past `m`, and a FALSE `acc` still performs the
+    /// single leading literal lookup the old loop did before breaking.
     fn chain(
         &mut self,
         ctx: &Ctx,
-        mut acc: Guard,
+        acc: Guard,
         cond: OpId,
         iter: &Iter,
         d: usize,
         range: std::ops::RangeInclusive<u32>,
     ) -> Guard {
+        debug_assert_eq!(*range.start(), 0, "chains always start at iteration 0");
+        let end = *range.end();
+        if acc.is_false() {
+            let clen = self.g.op(cond).loop_path().len();
+            let mut ci = iter[..clen].to_vec();
+            ci[d] = 0;
+            let _ = self.lit(ctx, cond, &ci, true);
+            return Guard::FALSE;
+        }
+        let p = self.chain_prefix(ctx, cond, iter, d, end);
+        self.mgr.and(acc, p)
+    }
+
+    /// The memoized prefix product `lit(cond@0) ∧ … ∧ lit(cond@end)`:
+    /// walks down from `end` to the deepest cached partial product and
+    /// builds (and caches) only the missing tail. A cached FALSE partial
+    /// short-circuits the whole chain.
+    fn chain_prefix(&mut self, ctx: &Ctx, cond: OpId, iter: &Iter, d: usize, end: u32) -> Guard {
         let clen = self.g.op(cond).loop_path().len();
         let mut ci = iter[..clen].to_vec();
-        for m in range {
+        let mut acc = Guard::TRUE;
+        let mut start = 0;
+        let mut m = end;
+        loop {
+            ci[d] = m;
+            // Only interned condition instances can be cached; `it.get`
+            // never allocates.
+            if let Some(inst) = self.it.get(cond, &ci) {
+                if let Some(g) = self.memo.chain.get(&inst) {
+                    if g.is_false() {
+                        return Guard::FALSE;
+                    }
+                    acc = g;
+                    start = m + 1;
+                    break;
+                }
+            }
+            if m == 0 {
+                break;
+            }
+            m -= 1;
+        }
+        for m in start..=end {
             ci[d] = m;
             let l = self.lit(ctx, cond, &ci, true);
             acc = self.mgr.and(acc, l);
+            let inst = self.it.id(cond, &ci);
+            self.memo.chain.insert(inst, acc);
             if acc.is_false() {
                 break;
             }
@@ -257,15 +368,28 @@ impl Res<'_> {
                     let ilen = self.g.op(init).loop_path().len();
                     self.value_versions(ctx, init, &iter[..ilen].to_vec())
                 } else {
+                    // A loop-invariant carried source (an in-loop
+                    // assignment that resolved to an outer producer)
+                    // has no iteration axis to step back along: read
+                    // it at its own, shorter frame.
                     let slen = self.g.op(src).loop_path().len();
-                    let mut it = iter[..slen].to_vec();
-                    it[d] = k - 1;
+                    let mut it = iter[..slen.min(iter.len())].to_vec();
+                    if d < it.len() {
+                        it[d] = k - 1;
+                    }
                     self.value_versions(ctx, src, &it)
                 }
             }
             PortKind::Exit { lp, src, init } => {
                 let cond = self.g.loop_info(lp).cond();
-                let pre_len = self.g.op(src).loop_path().len() - 1;
+                // The *loop's* nesting depth anchors the outer-iteration
+                // prefix (via its condition op, which always sits inside
+                // the loop). The exit source may live outside the loop
+                // entirely — a loop-invariant assignment like `b = x`
+                // resolves to the outer producer — so its own frame can
+                // be shorter; reads below truncate to it.
+                let pre_len = self.g.op(cond).loop_path().len() - 1;
+                let slen = self.g.op(src).loop_path().len();
                 let base: Iter = iter
                     .iter()
                     .copied()
@@ -295,7 +419,10 @@ impl Res<'_> {
                 for j in 0..=h {
                     let mut si = base.clone();
                     si.push(j);
-                    let vs = self.value_versions(ctx, src, &si);
+                    // A loop-invariant source reads at its own (outer)
+                    // frame — the same versions for every exit arm; the
+                    // per-j exit guards OR together in the merge.
+                    let vs = self.value_versions(ctx, src, &si[..slen.min(si.len())].to_vec());
                     if vs.is_empty() {
                         continue;
                     }
@@ -344,15 +471,22 @@ impl Res<'_> {
                     let ilen = self.g.op(init).loop_path().len();
                     self.inst_of(ctx, init, &iter[..ilen].to_vec())
                 } else {
+                    // Loop-invariant sources have no iteration axis;
+                    // see `port_versions`.
                     let slen = self.g.op(src).loop_path().len();
-                    let mut it = iter[..slen].to_vec();
-                    it[d] = k - 1;
+                    let mut it = iter[..slen.min(iter.len())].to_vec();
+                    if d < it.len() {
+                        it[d] = k - 1;
+                    }
                     self.inst_of(ctx, src, &it)
                 }
             }
             PortKind::Exit { lp, src, init } => {
                 let cond = self.g.loop_info(lp).cond();
-                let pre_len = self.g.op(src).loop_path().len() - 1;
+                // As in `port_versions`: anchor on the loop's depth, not
+                // the source's — a loop-invariant source sits outside.
+                let pre_len = self.g.op(cond).loop_path().len() - 1;
+                let slen = self.g.op(src).loop_path().len();
                 let base: Iter = iter
                     .iter()
                     .copied()
@@ -385,7 +519,7 @@ impl Res<'_> {
                     if exit_g.is_false() {
                         continue;
                     }
-                    for (i, gi) in self.inst_of(ctx, src, &si) {
+                    for (i, gi) in self.inst_of(ctx, src, &si[..slen.min(si.len())].to_vec()) {
                         let g = self.mgr.and(exit_g, gi);
                         if !g.is_false() {
                             out.push((i, g));
@@ -479,9 +613,13 @@ impl Res<'_> {
                     let ilen = self.g.op(init).loop_path().len();
                     self.settled(ctx, init, &iter[..ilen].to_vec())
                 } else {
+                    // Loop-invariant sources have no iteration axis;
+                    // see `port_versions`.
                     let slen = self.g.op(src).loop_path().len();
-                    let mut it = iter[..slen].to_vec();
-                    it[d] = k - 1;
+                    let mut it = iter[..slen.min(iter.len())].to_vec();
+                    if d < it.len() {
+                        it[d] = k - 1;
+                    }
                     self.settled(ctx, src, &it)
                 }
             }
@@ -490,8 +628,12 @@ impl Res<'_> {
                 // the loop has exited on this path (the exit consumer's
                 // own guard handles which iteration); conservatively
                 // require the last *instantiated* iteration's access to
-                // be settled.
-                let pre_len = self.g.op(src).loop_path().len() - 1;
+                // be settled. The prefix is anchored on the loop's own
+                // depth; a loop-invariant source settles at its outer
+                // frame.
+                let cond = self.g.loop_info(lp).cond();
+                let pre_len = self.g.op(cond).loop_path().len() - 1;
+                let slen = self.g.op(src).loop_path().len();
                 let base: Iter = iter
                     .iter()
                     .copied()
@@ -501,7 +643,7 @@ impl Res<'_> {
                 let h = ctx.horizon.get(&(lp, base.clone())).copied().unwrap_or(0);
                 let mut si = base;
                 si.push(h);
-                self.settled(ctx, src, &si)
+                self.settled(ctx, src, &si[..slen.min(si.len())].to_vec())
             }
         }
     }
@@ -621,11 +763,27 @@ impl Res<'_> {
         if ctrl.is_false() {
             return 0;
         }
+        // One scan instead of per-combo scans: the candidate list can be
+        // long, but only same-instance entries matter for dedup, widen,
+        // and version counting. Indices are into `ctx.cands` (event
+        // consumers rely on that), and freshly pushed candidates join
+        // the index so later combos observe them exactly as a rescanning
+        // loop would. Built lazily, after the cheap rejections.
+        let same_inst = |ctx: &Ctx| -> Vec<usize> {
+            ctx.cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.inst == inst)
+                .map(|(i, _)| i)
+                .collect()
+        };
         if kind.is_pass_through() {
             // Copy candidates: one per resolvable source version. The
             // issued copy is the fresh per-iteration name of the merged
             // variable (a register transfer).
             let versions = self.copy_versions(ctx, op, iter);
+            let mut mine = same_inst(ctx);
+            let avail_cnt = ctx.avail.range(Key::version_range(inst)).count();
             let mut added = 0;
             for (v, gv) in versions {
                 let guard = self.mgr.and(ctrl, gv);
@@ -635,14 +793,11 @@ impl Res<'_> {
                 let operands = vec![v];
                 // Scan first: widening only writes through the context's
                 // copy-on-write candidate list when the guard changes.
-                if let Some(i) = ctx
-                    .cands
-                    .iter()
-                    .position(|c| c.inst == inst && c.operands == operands)
-                {
+                if let Some(&i) = mine.iter().find(|&&i| ctx.cands[i].operands == operands) {
                     let widened = self.mgr.or(ctx.cands[i].guard, guard);
                     if widened != ctx.cands[i].guard {
                         ctx.cands_mut()[i].guard = widened;
+                        self.events.push(CandEvent::Widened(i));
                         added += 1;
                     }
                     continue;
@@ -654,9 +809,7 @@ impl Res<'_> {
                 if issued {
                     continue;
                 }
-                let live = ctx.avail.range(Key::version_range(inst)).count()
-                    + ctx.cands.iter().filter(|c| c.inst == inst).count();
-                if live >= max_versions {
+                if avail_cnt + mine.len() >= max_versions {
                     break;
                 }
                 ctx.cands_mut().push(Candidate {
@@ -665,6 +818,8 @@ impl Res<'_> {
                     tokens: Vec::new(),
                     guard,
                 });
+                mine.push(ctx.cands.len() - 1);
+                self.events.push(CandEvent::Added(ctx.cands.len() - 1));
                 added += 1;
             }
             return added;
@@ -706,8 +861,8 @@ impl Res<'_> {
                 combos.truncate(64);
             }
         }
-        let existing = ctx.avail.range(Key::version_range(inst)).count()
-            + ctx.cands.iter().filter(|c| c.inst == inst).count();
+        let mut mine = same_inst(ctx);
+        let existing = ctx.avail.range(Key::version_range(inst)).count() + mine.len();
         let mut added = 0;
         for (operands, guard) in combos {
             // Bounding candidate creation (not just issue) by the
@@ -720,11 +875,7 @@ impl Res<'_> {
             // An existing candidate with the same operand choice absorbs
             // the new guard (a new exit iteration opening widens the
             // condition under which this choice is the right one).
-            if let Some(i) = ctx
-                .cands
-                .iter()
-                .position(|c| c.inst == inst && c.operands == operands)
-            {
+            if let Some(&i) = mine.iter().find(|&&i| ctx.cands[i].operands == operands) {
                 // A candidate pinning a token key that was invalidated
                 // (mis-speculated predecessor version dropped by
                 // cofactoring) can never issue; adopt the freshly
@@ -736,11 +887,13 @@ impl Res<'_> {
                     .any(|t| !ctx.avail.contains_key(t));
                 if stale && ctx.cands[i].tokens != tokens {
                     ctx.cands_mut()[i].tokens = tokens.clone();
+                    self.events.push(CandEvent::Retokened(i));
                     added += 1;
                 }
                 let widened = self.mgr.or(ctx.cands[i].guard, guard);
                 if widened != ctx.cands[i].guard {
                     ctx.cands_mut()[i].guard = widened;
+                    self.events.push(CandEvent::Widened(i));
                     added += 1;
                 }
                 continue;
@@ -763,6 +916,8 @@ impl Res<'_> {
                 tokens: tokens.clone(),
                 guard,
             });
+            mine.push(ctx.cands.len() - 1);
+            self.events.push(CandEvent::Added(ctx.cands.len() - 1));
             added += 1;
         }
         added
@@ -865,6 +1020,8 @@ mod tests {
     fn ctrl_guard_builds_full_continuation_chain() {
         let (g, cont, _branch, sum) = branchy_loop();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let ctx = Ctx::default();
         let mut r = Res {
             g: &g,
@@ -872,6 +1029,8 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         // The branch-gated add at iteration 2 is conditioned on
         // c_cont@0 ∧ c_cont@1 ∧ c_cont@2 ∧ c_branch@2.
@@ -887,6 +1046,8 @@ mod tests {
     fn resolved_and_floor_collapse_literals() {
         let (g, cont, _branch, sum) = branchy_loop();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
         ctx.floor_mut().insert((lp, vec![]), 2); // c@0, c@1 known true
@@ -898,12 +1059,16 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         let guard = r.ctrl_guard(&ctx, sum, &vec![2]);
         // Only the branch literal remains.
         assert_eq!(r.mgr.support(guard).len(), 1);
         // And a resolved-false continuation kills the instance outright.
+        // (Resolution ends the memo's validity window, as in the engine.)
         ctx.resolved_mut().insert(c2, false);
+        r.memo.clear();
         let dead = r.ctrl_guard(&ctx, sum, &vec![2]);
         assert!(dead.is_false());
     }
@@ -920,6 +1085,8 @@ mod tests {
             .unwrap()
             .id();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let mut ctx = Ctx::default();
         // Issue only the true-side add at iteration 0 so one side of the
         // select has a value; the steering Gt is entirely unscheduled.
@@ -939,6 +1106,8 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         let versions = r.copy_versions(&ctx, sel, &vec![0]);
         // Two versions: the issued add under c_branch@0, and the carried
@@ -966,6 +1135,8 @@ mod tests {
             .unwrap()
             .id();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let mut ctx = Ctx::default();
         let lp = g.loops()[0].id();
         ctx.horizon_mut().insert((lp, vec![]), 1);
@@ -975,6 +1146,8 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         // With nothing issued, only the exit-at-0 (init) version exists.
         let versions = r.copy_versions(&ctx, exit_pass, &vec![]);
@@ -990,6 +1163,8 @@ mod tests {
     fn gen_candidates_dedups_and_widens() {
         let (g, cont, _branch, _sum) = branchy_loop();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let mut ctx = Ctx::default();
         let mut r = Res {
             g: &g,
@@ -997,6 +1172,8 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         let n1 = r.gen_candidates(&mut ctx, cont, &vec![0], 4, 4);
         assert_eq!(n1, 1, "the iteration-0 continue test is schedulable");
@@ -1015,6 +1192,8 @@ mod tests {
             .unwrap()
             .id();
         let (tables, mut mgr, mut ct, mut it) = res_env(&g);
+        let mut memo = GuardMemo::default();
+        let mut events = Vec::new();
         let mut ctx = Ctx::default();
         let inc1 = it.id(inc, &[1]);
         let mut r = Res {
@@ -1023,6 +1202,8 @@ mod tests {
             mgr: &mut mgr,
             ct: &mut ct,
             it: &mut it,
+            memo: &mut memo,
+            events: &mut events,
         };
         // Iteration 0 increments are within any cap...
         assert_eq!(r.gen_candidates(&mut ctx, inc, &vec![0], 4, 1), 1);

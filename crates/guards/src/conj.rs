@@ -1,0 +1,127 @@
+//! Keyed guard-conjunction caching for batched guard construction.
+//!
+//! The Fig.-12 sweep rebuilds control guards for every candidate it
+//! regenerates, and candidates of one loop body share long `ite`-chain
+//! prefixes (the conjunction of continue conditions up to the
+//! candidate's iteration). [`ConjCache`] lets a caller memoize those
+//! conjunctions under an arbitrary key — typically a condition-instance
+//! or target-instance identifier — so a shared prefix is built through
+//! the BDD manager once per validity window and every further candidate
+//! pays a hash probe.
+//!
+//! The cache stores [`Guard`]s by value (node indices into the owning
+//! [`BddManager`](crate::BddManager)); it is only meaningful while the
+//! guards' inputs are stable, so callers clear it at every event that
+//! can change a cached conjunction (condition resolution, floor
+//! movement). [`ConjCacheStats`] counts hits, misses, and those clears
+//! so benches can report how much reuse a validity window actually
+//! yields.
+
+use crate::Guard;
+use spec_support::fxhash::FxHashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Hit/miss/clear counters for one [`ConjCache`], cumulative over the
+/// cache's lifetime (clears reset the *entries*, not the counters).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConjCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that missed and were inserted by the caller.
+    pub misses: u64,
+    /// Times the cache was invalidated wholesale.
+    pub clears: u64,
+}
+
+impl fmt::Display for ConjCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} clears={}",
+            self.hits, self.misses, self.clears
+        )
+    }
+}
+
+/// A keyed cache of constructed guard conjunctions.
+///
+/// Generic over the key so one scheduler can keep several caches with
+/// different indexing disciplines (per target instance, per chain
+/// prefix) without re-wrapping the map each time.
+#[derive(Debug)]
+pub struct ConjCache<K> {
+    map: FxHashMap<K, Guard>,
+    stats: ConjCacheStats,
+}
+
+impl<K> Default for ConjCache<K> {
+    fn default() -> Self {
+        ConjCache {
+            map: FxHashMap::default(),
+            stats: ConjCacheStats::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash> ConjCache<K> {
+    /// Looks up a cached conjunction, counting the probe as a hit or a
+    /// miss.
+    pub fn get(&mut self, k: &K) -> Option<Guard> {
+        match self.map.get(k) {
+            Some(&g) => {
+                self.stats.hits += 1;
+                Some(g)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the conjunction built for a key that previously missed.
+    pub fn insert(&mut self, k: K, g: Guard) {
+        self.map.insert(k, g);
+    }
+
+    /// Invalidates every entry (an input of the cached conjunctions
+    /// changed). Counters survive so stats cover the whole run.
+    pub fn clear(&mut self) {
+        if !self.map.is_empty() {
+            self.map.clear();
+        }
+        self.stats.clears += 1;
+    }
+
+    /// Cumulative hit/miss/clear counts.
+    pub fn stats(&self) -> ConjCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BddManager;
+
+    #[test]
+    fn counts_hits_misses_clears() {
+        let mut m = BddManager::new();
+        let g = m.literal(crate::Cond::new(0), true);
+        let mut c: ConjCache<u32> = ConjCache::default();
+        assert_eq!(c.get(&1), None);
+        c.insert(1, g);
+        assert_eq!(c.get(&1), Some(g));
+        c.clear();
+        assert_eq!(c.get(&1), None);
+        assert_eq!(
+            c.stats(),
+            ConjCacheStats {
+                hits: 1,
+                misses: 2,
+                clears: 1
+            }
+        );
+    }
+}

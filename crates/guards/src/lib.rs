@@ -49,11 +49,13 @@
 
 mod assign;
 mod bdd;
+mod conj;
 mod cube;
 mod prob;
 
 pub use assign::Assignment;
 pub use bdd::{BddManager, CacheStats, Guard, SOP_CUBES, SOP_FALSE, SOP_TRUE};
+pub use conj::{ConjCache, ConjCacheStats};
 pub use cube::{Cube, Literal};
 pub use prob::CondProbs;
 

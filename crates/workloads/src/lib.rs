@@ -330,6 +330,46 @@ pub fn findmin64() -> Workload {
     w
 }
 
+/// Findmin at N = 1024: iteration counts far beyond the fold horizon.
+/// The steady-state STG is the same size as [`findmin64`]'s — what this
+/// point stresses is the *grow phase* on long runs: candidate-sweep and
+/// ready-list cost per issue must stay flat as the schedule executes
+/// many more folded iterations, so a superlinear sweep shows up here
+/// first. Bench-only; not part of [`all`].
+pub fn findmin1024() -> Workload {
+    let mut w = Workload::build(
+        "Findmin1024",
+        "design findmin1024 {
+            input n;
+            output idx, min;
+            mem A[1024];
+            var i = 1;
+            var best = A[0];
+            var bi = 0;
+            while (i < n) {
+                var v = A[i];
+                if (v < best) { best = v; bi = i; }
+                i = i + 1;
+            }
+            idx = bi;
+            min = best;
+        }",
+        Allocation::new()
+            .with(FuClass::Comparator, 2)
+            .with(FuClass::EqComparator, 2)
+            .with(FuClass::Incrementer, 1),
+        525,
+        20.0,
+        1024,
+    );
+    // The stride pattern repeats mod 97, so shift it up by one and
+    // carve a unique global minimum: A[600] = 0.
+    let mut a: Vec<i64> = (0..1024).map(|i| (i * 37 + 11) % 97 + 1).collect();
+    a[600] = 0;
+    w.mem_init.insert("A".into(), a);
+    w
+}
+
 /// Multi-loop Findmin: the minimum scan over `A` followed by a second
 /// data-dependent loop counting the elements of `B` within `margin` of
 /// that minimum. Two sequential loops joined by a scalar feed
@@ -655,6 +695,20 @@ mod tests {
         let out = hls_lang::interp::run(&w.program, &[("n", 64)], &image, 1_000_000).unwrap();
         assert_eq!(out.outputs["min"], 0);
         assert_eq!(out.outputs["idx"], 60);
+    }
+
+    #[test]
+    fn findmin1024_finds_unique_zero_minimum() {
+        let w = findmin1024();
+        let a = &w.mem_init["A"];
+        assert_eq!(a.len(), 1024);
+        assert_eq!(a.iter().filter(|&&v| v == 0).count(), 1);
+        let image = hls_lang::MemImage {
+            contents: w.mem_init.clone(),
+        };
+        let out = hls_lang::interp::run(&w.program, &[("n", 1024)], &image, 10_000_000).unwrap();
+        assert_eq!(out.outputs["min"], 0);
+        assert_eq!(out.outputs["idx"], 600);
     }
 
     #[test]

@@ -35,6 +35,20 @@ medians() {
     sed -n 's/.*"name": "\([^"]*\)".*"median": \([0-9]*\).*/\1 \2/p' "$1"
 }
 
+# A format drift in the bench JSON would make the sed above extract
+# nothing — and a compare-loop over zero baselines vacuously passes.
+# Fail loudly instead of silently gating nothing.
+if [ -z "$(medians "$BASELINE")" ]; then
+    echo "bench_check: FAILED — extracted zero medians from $BASELINE" \
+        "(format drift? update the medians() parser)"
+    exit 1
+fi
+if [ -z "$(medians "$FRESH_DIR/BENCH_schedulers.json")" ]; then
+    echo "bench_check: FAILED — extracted zero medians from the fresh run" \
+        "(format drift? update the medians() parser)"
+    exit 1
+fi
+
 fail=0
 while read -r name base; do
     fresh="$(medians "$FRESH_DIR/BENCH_schedulers.json" |
@@ -49,6 +63,28 @@ while read -r name base; do
         echo "bench_check: ok        $name: median ${base} ns -> ${fresh} ns"
     fi
 done < <(medians "$BASELINE")
+
+# Absolute spec/baseline ratio gate on the stress tier of the fresh
+# run: speculative scheduling does strictly more work per state than
+# the baseline, but the incremental sweep must keep it within a
+# constant factor — a superlinear grow phase shows up here as a ratio
+# blowout long before the 25% self-regression gate trips. Override the
+# bound with SPEC_STRESS_RATIO_MAX.
+STRESS_RATIO_MAX="${SPEC_STRESS_RATIO_MAX:-5}"
+while read -r wname spec base; do
+    if [ "$spec" -gt "$((base * STRESS_RATIO_MAX))" ]; then
+        echo "bench_check: RATIO     stress/$wname: spec ${spec} ns >" \
+            "${STRESS_RATIO_MAX}x baseline ${base} ns"
+        fail=1
+    else
+        echo "bench_check: ok        stress/$wname: spec/baseline" \
+            "${spec}/${base} ns within ${STRESS_RATIO_MAX}x"
+    fi
+done < <(medians "$FRESH_DIR/BENCH_schedulers.json" |
+    awk -F'[/ ]' '$1 == "stress" {
+        if ($3 == "wavesched-spec") spec[$2] = $4
+        else if ($3 == "wavesched") base[$2] = $4
+    } END { for (w in spec) if (w in base) print w, spec[w], base[w] }')
 
 if [ "$fail" -ne 0 ]; then
     echo "bench_check: FAILED (medians above are noisy on loaded machines;" \
