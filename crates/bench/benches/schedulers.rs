@@ -6,7 +6,7 @@
 //! `target/spec-bench/BENCH_schedulers.json`.
 
 use spec_support::bench::{black_box, Harness};
-use wavesched::{schedule, Mode, PhaseTimers, SchedConfig};
+use wavesched::{schedule, FaultPlan, Mode, PhaseTimers, SchedConfig, SchedStats};
 
 /// Times scheduling `w` under `mode` and annotates the bench with the
 /// last run's per-phase nanosecond breakdown (`extra` in the JSON), so
@@ -14,7 +14,7 @@ use wavesched::{schedule, Mode, PhaseTimers, SchedConfig};
 fn bench_schedule(h: &mut Harness, prefix: &str, w: &workloads::Workload, mode: Mode) {
     let mut cfg = SchedConfig::new(mode);
     cfg.max_spec_depth = w.spec_depth;
-    let mut phases = PhaseTimers::default();
+    let mut stats = SchedStats::default();
     h.bench_n(&format!("{prefix}/{}/{mode}", w.name), 10, || {
         let r = schedule(
             black_box(&w.cdfg),
@@ -24,9 +24,17 @@ fn bench_schedule(h: &mut Harness, prefix: &str, w: &workloads::Workload, mode: 
             &cfg,
         )
         .expect("schedules");
-        phases = r.stats.phases;
+        stats = r.stats;
         black_box(r.stg.working_state_count())
     });
+    annotate_stats(h, &stats);
+}
+
+/// Records the containment-relevant counters of the last run next to
+/// the phase breakdown, so the artifact shows injected-fault work (all
+/// zero on clean benches) and the degradation-chain length.
+fn annotate_stats(h: &mut Harness, stats: &SchedStats) {
+    let phases: &PhaseTimers = &stats.phases;
     for (key, stat) in [
         ("phase_grow_ns", phases.grow),
         ("phase_partition_ns", phases.partition),
@@ -39,10 +47,13 @@ fn bench_schedule(h: &mut Harness, prefix: &str, w: &workloads::Workload, mode: 
     ] {
         h.annotate(key, stat.ns);
     }
+    h.annotate("sched_attempts", u64::from(stats.attempts));
+    h.annotate("faults_total", stats.faults.total());
+    h.annotate("fault_audits", stats.faults.audits);
 }
 
 fn bench_table1_schedulers(h: &mut Harness) {
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         for mode in [Mode::NonSpeculative, Mode::Speculative] {
             bench_schedule(h, "table1", &w, mode);
         }
@@ -57,10 +68,10 @@ fn bench_table1_schedulers(h: &mut Harness) {
 /// (cross-loop serialization through the loop-exit order token).
 fn bench_stress_schedulers(h: &mut Harness) {
     for w in [
-        workloads::findmin64(),
-        workloads::findmin1024(),
-        workloads::findmin_two_pass(),
-        workloads::findmin_shared_mem(),
+        workloads::findmin64().unwrap(),
+        workloads::findmin1024().unwrap(),
+        workloads::findmin_two_pass().unwrap(),
+        workloads::findmin_shared_mem().unwrap(),
     ] {
         for mode in [Mode::NonSpeculative, Mode::Speculative] {
             bench_schedule(h, "stress", &w, mode);
@@ -69,7 +80,7 @@ fn bench_stress_schedulers(h: &mut Harness) {
 }
 
 fn bench_fig5_schedules(h: &mut Harness) {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     for (tag, adders) in [("one_adder", 1u32), ("two_adders", 2)] {
         let allocation = workloads::fig4_allocation(adders);
         h.bench(&format!("fig5/{tag}"), || {
@@ -87,10 +98,38 @@ fn bench_fig5_schedules(h: &mut Harness) {
     }
 }
 
+/// Containment overhead: scheduling GCD with the benign probes armed at
+/// period 1 (a BDD eviction storm at every state boundary plus an
+/// audited gc re-prune after every gc pass). The schedule is
+/// byte-identical to the clean run; the delta against
+/// `table1/GCD/wavesched-spec` is the price of maximal containment
+/// machinery, and the fault counters land in the JSON.
+fn bench_containment_overhead(h: &mut Harness) {
+    let w = workloads::gcd().expect("bundled workload builds");
+    let mut cfg = SchedConfig::new(Mode::Speculative);
+    cfg.max_spec_depth = w.spec_depth;
+    cfg.faults = Some(FaultPlan::parse("1:1:bdd-evict,gc-storm").expect("valid probe spec"));
+    let mut stats = SchedStats::default();
+    h.bench_n("containment/GCD/storms", 10, || {
+        let r = schedule(
+            black_box(&w.cdfg),
+            &w.library,
+            &w.allocation,
+            &Default::default(),
+            &cfg,
+        )
+        .expect("benign storms keep the schedule byte-identical");
+        stats = r.stats;
+        black_box(r.stg.working_state_count())
+    });
+    annotate_stats(h, &stats);
+}
+
 fn main() {
     let mut h = Harness::new("schedulers");
     bench_table1_schedulers(&mut h);
     bench_stress_schedulers(&mut h);
     bench_fig5_schedules(&mut h);
+    bench_containment_overhead(&mut h);
     h.finish().expect("bench JSON written");
 }

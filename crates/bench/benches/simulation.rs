@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use wavesched::{schedule, Mode, SchedConfig};
 
 fn bench_stg_simulation(h: &mut Harness) {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let r = schedule(
         &w.cdfg,
         &w.library,
@@ -29,7 +29,7 @@ fn bench_stg_simulation(h: &mut Harness) {
 }
 
 fn bench_golden_models(h: &mut Harness) {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
     h.bench("sim/gcd_interp_run", || {
         hls_lang::interp::run(
@@ -52,7 +52,7 @@ fn bench_golden_models(h: &mut Harness) {
 /// `measure_with` worker sweep. Entries differ only in worker count, so
 /// the JSON directly shows the parallel-measure speedup.
 fn bench_parallel_measure(h: &mut Harness) {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let r = schedule(
         &w.cdfg,
         &w.library,
@@ -75,13 +75,14 @@ fn bench_parallel_measure(h: &mut Harness) {
                 100_000,
                 workers,
             )
+            .unwrap()
             .mean_cycles
         });
     }
 }
 
 fn bench_markov(h: &mut Harness) {
-    let w = workloads::test1();
+    let w = workloads::test1().unwrap();
     let mut cfg = SchedConfig::new(Mode::Speculative);
     cfg.max_spec_depth = w.spec_depth;
     let r = schedule(

@@ -35,7 +35,7 @@ fn bench_bdd(h: &mut Harness) {
 }
 
 fn bench_frontend(h: &mut Harness) {
-    let w = workloads::barcode();
+    let w = workloads::barcode().unwrap();
     h.bench("lang/parse_barcode", || {
         hls_lang::Program::parse(black_box(w.source)).expect("parses")
     });
@@ -45,7 +45,7 @@ fn bench_frontend(h: &mut Harness) {
 }
 
 fn bench_analysis(h: &mut Harness) {
-    let w = workloads::barcode();
+    let w = workloads::barcode().unwrap();
     let delay = w.library.delay_fn(&w.cdfg);
     h.bench("cdfg/lambda_barcode", || {
         cdfg::analysis::lambda(black_box(&w.cdfg), &Default::default(), &delay)

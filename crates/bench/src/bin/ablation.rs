@@ -17,7 +17,7 @@ fn main() {
 }
 
 fn depth_ablation() {
-    let w = workloads::test1();
+    let w = workloads::test1().unwrap();
     let vectors = w.vectors(20);
     let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
     let probs = profile(&w.cdfg, &vectors, &mem);
@@ -38,7 +38,8 @@ fn depth_ablation() {
                     &mem,
                     Some(&w.program),
                     w.cycle_limit,
-                );
+                )
+                .expect("measurement succeeds");
                 println!(
                     "{depth:>6}  {:>8.1}  {:>8}  {:>7}",
                     m.mean_cycles,
@@ -54,7 +55,7 @@ fn depth_ablation() {
 }
 
 fn version_ablation() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let vectors = w.vectors(30);
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
     let probs = profile(&w.cdfg, &vectors, &mem);
@@ -72,7 +73,8 @@ fn version_ablation() {
                     &mem,
                     Some(&w.program),
                     w.cycle_limit,
-                );
+                )
+                .expect("measurement succeeds");
                 println!(
                     "{cap:>9}  {:>8.1}  {:>8}",
                     m.mean_cycles,

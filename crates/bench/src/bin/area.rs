@@ -6,7 +6,7 @@ use spec_bench::run_workload;
 use wavesched::Mode;
 
 fn main() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     println!("Sec. 5 area experiment — GCD RTL, gate equivalents\n");
     let mut totals = Vec::new();
     for (tag, mode) in [

@@ -17,8 +17,9 @@ fn main() {
         _ => Mode::Speculative,
     };
     let w = workloads::all()
+        .unwrap()
         .into_iter()
-        .chain([workloads::fig4(), workloads::dsp_clip()])
+        .chain([workloads::fig4().unwrap(), workloads::dsp_clip().unwrap()])
         .find(|w| w.name.eq_ignore_ascii_case(name))
         .unwrap_or_else(|| {
             eprintln!("unknown workload `{name}`; try Barcode GCD Test1 TLC Findmin Fig4 DspClip");

@@ -7,7 +7,7 @@ use spec_bench::run_workload;
 use wavesched::Mode;
 
 fn main() {
-    let w = workloads::test1();
+    let w = workloads::test1().unwrap();
     println!("Fig. 2 — schedules for the Fig. 1 loop (Test1)\n");
     let mut per_iter = Vec::new();
     for (tag, mode) in [

@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use wavesched::Mode;
 
 fn main() {
-    let w = workloads::test1();
+    let w = workloads::test1().unwrap();
     let r = run_workload(&w, Mode::Speculative, 10);
     let stg = &r.sched.stg;
 

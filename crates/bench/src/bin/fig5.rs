@@ -16,7 +16,7 @@ pub fn fig4_cond(g: &cdfg::Cdfg) -> cdfg::OpId {
 }
 
 fn main() {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let cond = fig4_cond(&w.cdfg);
     let settings = [
         ("(a) 1 adder, P(c1) = 0.2 (false path favored)", 1u32, 0.2),

@@ -77,7 +77,7 @@ fn simulate(w: &workloads::Workload, stg: &stg::Stg, p: f64, runs: usize) -> f64
 }
 
 fn main() {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let cond = fig4_cond(&w.cdfg);
     // Fixed schedules, as in the paper: each derived once under its own
     // design-time assumption, then evaluated across the whole P range.

@@ -15,7 +15,7 @@ fn fig4_cond(g: &cdfg::Cdfg) -> cdfg::OpId {
 }
 
 fn main() {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let cond = fig4_cond(&w.cdfg);
     let mut design_probs = BranchProbs::new();
     design_probs.set(cond, 0.8);

@@ -27,7 +27,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         let ws = run_workload(&w, Mode::NonSpeculative, runs);
         let sp = run_workload(&w, Mode::Speculative, runs);
         let speedup = ws.meas.mean_cycles / sp.meas.mean_cycles;
@@ -82,7 +82,7 @@ fn print_allocations() {
         hls_resources::FuClass::Incrementer,
     ];
     let mut rows = Vec::new();
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         let mut row = vec![w.name.to_string()];
         for c in classes {
             let cell = match w.allocation.limit(c) {

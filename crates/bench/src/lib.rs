@@ -5,9 +5,9 @@
 //! the common pipeline: profile → schedule → simulate → report.
 
 use cdfg::analysis::BranchProbs;
-use hls_sim::{measure, profile, Measurement};
+use hls_sim::{measure, profile, MeasureError, Measurement};
 use std::collections::HashMap;
-use wavesched::{schedule, Mode, SchedConfig, ScheduleResult};
+use wavesched::{schedule, Mode, SchedConfig, SchedError, ScheduleResult};
 use workloads::Workload;
 
 /// Everything measured for one (workload, scheduling mode) pair.
@@ -34,22 +34,48 @@ pub struct RunResult {
 /// variance).
 pub const TRACE_RUNS: usize = 50;
 
+/// Why one (workload, mode) pipeline run failed. Batch drivers report
+/// the failing pair and continue; the table/figure binaries treat any
+/// failure as fatal via [`run_workload`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The scheduler rejected the workload.
+    Sched(SchedError),
+    /// Simulation or golden-model execution failed.
+    Measure(MeasureError),
+    /// The schedule simulated but disagreed with the golden model on
+    /// this many traces — a functionally wrong schedule.
+    Mismatch(usize),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sched(e) => write!(f, "scheduling failed: {e}"),
+            RunError::Measure(e) => write!(f, "measurement failed: {e}"),
+            RunError::Mismatch(n) => write!(f, "schedule is functionally wrong on {n} trace(s)"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Full pipeline for one workload and mode: profile the golden model
 /// over the trace set, schedule with the profiled probabilities, then
 /// simulate the same traces with functional checking.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if scheduling fails or any simulation mismatches the golden
-/// model — experiments must not silently ship broken schedules.
-pub fn run_workload(w: &Workload, mode: Mode, runs: usize) -> RunResult {
+/// Fails with [`RunError`] if scheduling fails, a simulation fails, or
+/// any trace mismatches the golden model.
+pub fn try_run_workload(w: &Workload, mode: Mode, runs: usize) -> Result<RunResult, RunError> {
     let vectors = w.vectors(runs);
     let mem_init: HashMap<String, Vec<i64>> = w.mem_init.clone();
     let probs = profile(&w.cdfg, &vectors, &mem_init);
     let mut cfg = SchedConfig::new(mode);
     cfg.max_spec_depth = w.spec_depth;
-    let sched = schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg)
-        .unwrap_or_else(|e| panic!("{} / {mode}: scheduling failed: {e}", w.name));
+    let sched =
+        schedule(&w.cdfg, &w.library, &w.allocation, &probs, &cfg).map_err(RunError::Sched)?;
     let meas = measure(
         &w.cdfg,
         &sched.stg,
@@ -57,15 +83,14 @@ pub fn run_workload(w: &Workload, mode: Mode, runs: usize) -> RunResult {
         &mem_init,
         Some(&w.program),
         w.cycle_limit,
-    );
-    assert_eq!(
-        meas.mismatches, 0,
-        "{} / {mode}: schedule is functionally wrong",
-        w.name
-    );
+    )
+    .map_err(RunError::Measure)?;
+    if meas.mismatches != 0 {
+        return Err(RunError::Mismatch(meas.mismatches));
+    }
     let analytic = hls_sim::markov::expected_cycles(&sched.stg, &probs);
     let static_best = sched.stg.best_case_cycles();
-    RunResult {
+    Ok(RunResult {
         name: w.name,
         mode,
         meas,
@@ -73,7 +98,17 @@ pub fn run_workload(w: &Workload, mode: Mode, runs: usize) -> RunResult {
         static_best,
         probs,
         sched,
-    }
+    })
+}
+
+/// [`try_run_workload`], panicking on failure — the table/figure
+/// binaries must not silently ship broken schedules.
+///
+/// # Panics
+///
+/// Panics on any [`RunError`].
+pub fn run_workload(w: &Workload, mode: Mode, runs: usize) -> RunResult {
+    try_run_workload(w, mode, runs).unwrap_or_else(|e| panic!("{} / {mode}: {e}", w.name))
 }
 
 /// Renders a row-aligned plain-text table.
@@ -133,7 +168,7 @@ mod tests {
 
     #[test]
     fn quick_pipeline_smoke() {
-        let w = workloads::gcd();
+        let w = workloads::gcd().unwrap();
         let r = run_workload(&w, Mode::Speculative, 5);
         assert_eq!(r.meas.mismatches, 0);
         assert!(r.meas.mean_cycles > 0.0);

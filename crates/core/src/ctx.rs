@@ -435,6 +435,50 @@ impl Ctx {
         Arc::make_mut(&mut self.sweep_domain)
     }
 
+    /// Cheap structural fingerprint over every collection: sizes, key
+    /// sets, and the scalar bookkeeping values. Used by the
+    /// fault-injection gc-storm audit to assert that a redundant prune
+    /// pass leaves the context untouched (pruning must be idempotent).
+    /// Deliberately ignores guard BDD identities — the audit brackets a
+    /// single prune pass, across which every retained key's guard is
+    /// stable, so key-level identity is decisive.
+    pub fn shape_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.avail.len().hash(&mut h);
+        for (k, info) in self.avail.iter() {
+            k.hash(&mut h);
+            info.operands.hash(&mut h);
+        }
+        self.cands.len().hash(&mut h);
+        for c in self.cands.iter() {
+            c.inst.hash(&mut h);
+            c.operands.hash(&mut h);
+        }
+        self.done.hash(&mut h);
+        for inst in self.obligations.keys() {
+            inst.hash(&mut h);
+        }
+        self.pending_conds.len().hash(&mut h);
+        for (k, _, left) in self.pending_conds.iter() {
+            k.hash(&mut h);
+            left.hash(&mut h);
+        }
+        self.resolved.hash(&mut h);
+        self.fu_busy.hash(&mut h);
+        self.horizon.hash(&mut h);
+        self.floor.hash(&mut h);
+        self.work_floor.hash(&mut h);
+        for (inst, k) in self.exit_pending.iter() {
+            inst.hash(&mut h);
+            k.hash(&mut h);
+        }
+        self.discharged.hash(&mut h);
+        self.sweep_dirty.hash(&mut h);
+        h.finish()
+    }
+
     /// Applies end-of-state timing: depths reset, multi-cycle results get
     /// one state closer to ready, busy units tick down. Pending loop-exit
     /// discharges become permanent here — promotion at the state boundary

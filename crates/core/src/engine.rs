@@ -10,6 +10,7 @@ use crate::ctx::{
     cmp_inst, cmp_src, AvailInfo, Candidate, CondInst, CondTable, Ctx, InstId, InstTable, Iter,
     Key, ValSrc,
 };
+use crate::fault::{FaultState, FaultStats, Probe};
 use crate::resolve::{Res, Tables};
 use crate::sig::SigBuilder;
 use crate::{BlockedInst, Mode, SchedConfig, SchedError, StuckReport};
@@ -21,7 +22,7 @@ use spec_support::fxhash::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use stg::{OpInst, ScheduledOp, StateId, Stg, Transition, ValRef};
 
 /// Wall-clock accounting of one engine phase: invocation count plus
@@ -131,6 +132,14 @@ pub struct SchedStats {
     /// the start of result assembly), the reconciliation target for
     /// [`PhaseTimers::accounted_ns`].
     pub wall_ns: u64,
+    /// Injected-fault and containment-audit counters (all zero unless a
+    /// [`FaultPlan`](crate::FaultPlan) was armed).
+    pub faults: FaultStats,
+    /// Degradation-chain attempts that produced this schedule: 0 for a
+    /// direct [`schedule`] call, ≥ 1 when
+    /// [`schedule_resilient`](crate::schedule_resilient) drove the run
+    /// (1 = first try succeeded; larger = fallbacks were taken).
+    pub attempts: u32,
 }
 
 /// A finished schedule: the STG plus run statistics.
@@ -148,8 +157,16 @@ pub struct ScheduleResult {
 /// # Errors
 ///
 /// Returns [`SchedError`] if the design cannot be scheduled under the
-/// configuration — state/iteration caps exceeded or a resource deadlock
-/// (e.g. an allocation granting zero units of a class the design needs).
+/// configuration — state/iteration caps exceeded, the wall-clock budget
+/// expired, the run was cancelled, or a resource deadlock (e.g. an
+/// allocation granting zero units of a class the design needs).
+///
+/// # Panic isolation
+///
+/// Panics anywhere in the engine or the BDD layer are caught at this
+/// boundary and converted into [`SchedError::Internal`], so one bad
+/// CDFG cannot take down a batch run. (The process-global panic hook
+/// still prints its message; install a quieter hook if that matters.)
 pub fn schedule(
     g: &Cdfg,
     lib: &Library,
@@ -157,7 +174,25 @@ pub fn schedule(
     probs: &BranchProbs,
     cfg: &SchedConfig,
 ) -> Result<ScheduleResult, SchedError> {
-    Engine::new(g, lib, alloc, probs, cfg).run()
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::new(g, lib, alloc, probs, cfg).run()
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(SchedError::Internal {
+            context: panic_context(payload.as_ref()),
+        }),
+    }
+}
+
+/// Renders a caught panic payload for [`SchedError::Internal`].
+fn panic_context(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// One entry of the criticality-ordered ready list a state grows from.
@@ -263,6 +298,13 @@ struct Engine<'a> {
     debug: bool,
     /// Construction time, for the run's wall-clock accounting.
     started: Instant,
+    /// Wall-clock point at which the run aborts with
+    /// [`SchedError::Deadline`], derived from the budget at
+    /// construction. Checked at state boundaries.
+    deadline: Option<Instant>,
+    /// Armed fault-injection runtime (testing only; `None` in
+    /// production runs).
+    faults: Option<FaultState>,
     stats: SchedStats,
 }
 
@@ -283,6 +325,7 @@ impl<'a> Engine<'a> {
             }
         }
         let cond_readers = cond_readers(g, &loop_readers);
+        let started = Instant::now();
         Engine {
             g,
             lib,
@@ -315,9 +358,48 @@ impl<'a> Engine<'a> {
             supp_scratch: Vec::new(),
             trace: std::env::var_os("WAVESCHED_TRACE").is_some(),
             debug: std::env::var_os("WAVESCHED_DEBUG").is_some(),
-            started: Instant::now(),
+            started,
+            deadline: cfg
+                .budget
+                .deadline_ms
+                .map(|ms| started + Duration::from_millis(ms)),
+            faults: cfg.faults.clone().map(FaultState::new),
             stats: SchedStats::default(),
         }
+    }
+
+    /// Budget and fault checks at a state (tick) boundary: cooperative
+    /// cancellation, the wall-clock deadline, and the boundary-scoped
+    /// fault probes (injected panic, artificial fuel/deadline
+    /// exhaustion, forced BDD-cache eviction storms).
+    fn boundary_checks(&mut self, iterations: usize) -> Result<(), SchedError> {
+        if let Some(c) = &self.cfg.budget.cancel {
+            if c.is_cancelled() {
+                return Err(SchedError::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(SchedError::Deadline {
+                    budget_ms: self.cfg.budget.deadline_ms.unwrap_or(0),
+                });
+            }
+        }
+        if let Some(f) = &mut self.faults {
+            if f.fire(Probe::Panic) {
+                panic!("injected fault: panic probe at state boundary {iterations}");
+            }
+            if f.fire(Probe::Fuel) {
+                return Err(SchedError::IterationLimit(iterations));
+            }
+            if f.fire(Probe::Deadline) {
+                return Err(SchedError::Deadline { budget_ms: 0 });
+            }
+            if f.fire(Probe::BddEvict) {
+                self.mgr.flush_op_caches();
+            }
+        }
+        Ok(())
     }
 
     fn res(&mut self) -> Res<'_> {
@@ -332,11 +414,27 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Whether the [`Probe::DropSweepEvent`] fault fires for the
+    /// current dirty-marking event (always false without an armed
+    /// plan). Counts `n` dropped insertions when it does.
+    fn drop_sweep_event(&mut self, n: usize) -> bool {
+        if let Some(f) = &mut self.faults {
+            if f.fire(Probe::DropSweepEvent) {
+                f.stats.dropped_events += n.saturating_sub(1) as u64;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Records a change to `op`'s context entries (an issue appending
     /// to `avail`, or its generator appending/widening candidates) in
     /// the context's own dirty set: every direct consumer must
     /// re-generate before the sweep can quiesce.
-    fn mark_op_changed(&self, ctx: &mut Ctx, op: OpId) {
+    fn mark_op_changed(&mut self, ctx: &mut Ctx, op: OpId) {
+        if self.drop_sweep_event(self.consumers[op.index()].len()) {
+            return;
+        }
         let dirty = ctx.sweep_dirty_mut();
         for p in &self.consumers[op.index()] {
             dirty.insert(*p);
@@ -345,7 +443,10 @@ impl<'a> Engine<'a> {
 
     /// Records a horizon bump of loop `l`: every op whose generation
     /// reads that loop's bookkeeping must re-generate.
-    fn mark_loop_changed(&self, ctx: &mut Ctx, l: LoopId) {
+    fn mark_loop_changed(&mut self, ctx: &mut Ctx, l: LoopId) {
+        if self.drop_sweep_event(self.loop_readers[l.index()].len()) {
+            return;
+        }
         let dirty = ctx.sweep_dirty_mut();
         for p in &self.loop_readers[l.index()] {
             dirty.insert(*p);
@@ -355,7 +456,10 @@ impl<'a> Engine<'a> {
     /// Records the resolution of an instance of conditional op `cond`
     /// (a cofactoring event): every op whose guards, chains, or
     /// steering can reference the condition must re-generate.
-    fn mark_cond_changed(&self, ctx: &mut Ctx, cond: OpId) {
+    fn mark_cond_changed(&mut self, ctx: &mut Ctx, cond: OpId) {
+        if self.drop_sweep_event(self.cond_readers[cond.index()].len()) {
+            return;
+        }
         let dirty = ctx.sweep_dirty_mut();
         for p in &self.cond_readers[cond.index()] {
             dirty.insert(*p);
@@ -425,7 +529,7 @@ impl<'a> Engine<'a> {
         // context; later sweeps run off the per-context dirty feed.
         let t_sw0 = Instant::now();
         self.mark_all(&mut ctx0);
-        self.sweep(&mut ctx0);
+        self.sweep(&mut ctx0)?;
         self.events.clear();
         self.stats.phases.sweep.add(t_sw0.elapsed());
 
@@ -453,6 +557,7 @@ impl<'a> Engine<'a> {
             if iterations > self.cfg.max_iterations {
                 return Err(SchedError::IterationLimit(self.cfg.max_iterations));
             }
+            self.boundary_checks(iterations)?;
             let t0 = Instant::now();
             self.grow_state(sid, &mut ctx)?;
             let t_grow = t0.elapsed();
@@ -498,12 +603,13 @@ impl<'a> Engine<'a> {
                 // the guard memo's validity window ends here.
                 self.memo.clear();
                 self.promote_done(&mut bctx);
-                self.sweep(&mut bctx);
+                self.sweep(&mut bctx)?;
                 self.events.clear();
                 let t_sw = tb.elapsed();
                 self.stats.phases.sweep.add(t_sw);
                 let tg = std::time::Instant::now();
                 self.gc(&mut bctx);
+                self.gc_storm_check(&mut bctx)?;
                 let t_gc = tg.elapsed();
                 self.stats.phases.gc.add(t_gc);
                 if self.trace {
@@ -579,6 +685,9 @@ impl<'a> Engine<'a> {
         self.stats.wall_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.stats.bdd_nodes = self.mgr.node_count();
         self.stats.bdd_cache = self.mgr.cache_stats();
+        if let Some(f) = &self.faults {
+            self.stats.faults = f.stats.clone();
+        }
         debug_assert_eq!(self.stg.check(), Ok(()));
         #[cfg(debug_assertions)]
         if let Err(errs) = stg::validate_dataflow(&self.stg) {
@@ -614,7 +723,7 @@ impl<'a> Engine<'a> {
         // `resolved` and the floors are frozen while a state grows:
         // this opens a fresh guard-memo validity window.
         self.memo.clear();
-        self.sweep(ctx);
+        self.sweep(ctx)?;
         self.events.clear();
         let mut ready = self.build_ready(ctx);
         loop {
@@ -676,7 +785,7 @@ impl<'a> Engine<'a> {
                 e.idx -= removed.partition_point(|&r| r < e.idx);
                 true
             });
-            self.sweep(ctx);
+            self.sweep(ctx)?;
             if self.cfg.reference_sweep {
                 self.events.clear();
                 ready = self.build_ready(ctx);
@@ -1210,7 +1319,7 @@ impl<'a> Engine<'a> {
     /// domain) is the fixpoint. With
     /// [`SchedConfig::reference_sweep`] set, every pass re-marks all
     /// ops, reproducing the reference regenerate-everything sweep.
-    fn sweep(&mut self, ctx: &mut Ctx) {
+    fn sweep(&mut self, ctx: &mut Ctx) -> Result<(), SchedError> {
         // The domain depends on `avail`, the candidate list, obligations,
         // horizons, and work floors. Mid-sweep, all of those mutate only
         // under a generator's `n > 0` path, so passes that generated
@@ -1265,6 +1374,73 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        // Containment audit for the dropped-sweep-event fault: once any
+        // dirty-marking event has been dropped, chase every fixpoint
+        // with one reference pass (regenerate everything, exactly the
+        // `reference_sweep` oracle). The reference/incremental
+        // equivalence the differential tests prove means a clean
+        // fixpoint regenerates nothing — so anything the pass adds is a
+        // candidate the dropped event hid, and the run aborts instead
+        // of emitting a silently divergent schedule.
+        if self.faults.as_ref().is_some_and(|f| f.dropped_any) {
+            if let Some(f) = &mut self.faults {
+                f.stats.audits += 1;
+            }
+            let events_before = self.events.len();
+            let mut domain = self.iter_domain(ctx);
+            self.cap_lookahead(ctx, &mut domain);
+            self.mark_all(ctx);
+            let dirty: Vec<OpId> = ctx.sweep_dirty.iter().copied().collect();
+            ctx.sweep_dirty_mut().clear();
+            let mut added = 0usize;
+            for opid in dirty {
+                let op = self.g.op(opid);
+                if !self.useful[opid.index()] || op.kind().is_source() {
+                    continue;
+                }
+                let iters = enumerate_iters(self.g, opid, &domain, ctx, &self.it);
+                for iter in iters {
+                    let (max_versions, max_spec_depth) =
+                        (self.cfg.max_versions, self.cfg.max_spec_depth);
+                    let n =
+                        self.res()
+                            .gen_candidates(ctx, opid, &iter, max_versions, max_spec_depth);
+                    added += n;
+                }
+            }
+            if added > 0 || self.events.len() > events_before {
+                return Err(SchedError::Internal {
+                    context: format!(
+                        "dropped sweep event detected by reference audit: \
+                         {added} candidate(s) the incremental sweep missed"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Containment audit for the gc-storm fault: re-runs the
+    /// mark-and-sweep prune after the normal pass and verifies the
+    /// context fingerprint is unchanged — pruning must be idempotent,
+    /// so a redundant storm of prune passes is byte-neutral. A changed
+    /// fingerprint means gc dropped live state and the run aborts.
+    fn gc_storm_check(&mut self, ctx: &mut Ctx) -> Result<(), SchedError> {
+        let fire = match &mut self.faults {
+            Some(f) => f.fire(Probe::GcStorm),
+            None => false,
+        };
+        if !fire {
+            return Ok(());
+        }
+        let before = ctx.shape_fingerprint();
+        self.gc(ctx);
+        if ctx.shape_fingerprint() != before {
+            return Err(SchedError::Internal {
+                context: "gc-storm audit: prune pass is not idempotent".to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Diffs the swept domain against the context's recorded baseline
@@ -1705,30 +1881,13 @@ impl<'a> Engine<'a> {
             }
             !below(op, iter)
         };
-        let dead: Vec<CondInst> = ctx
+        let dead_resolved: Vec<CondInst> = ctx
             .resolved
             .keys()
             .filter(|i| !keep_resolved(i))
             .copied()
             .collect();
-        if !dead.is_empty() {
-            {
-                let resolved = ctx.resolved_mut();
-                for i in &dead {
-                    resolved.remove(i);
-                }
-            }
-            // Un-recording a resolution resurrects the condition's
-            // literal as a free variable: chains that collapsed to
-            // FALSE under the old record become satisfiable again, so
-            // every guard that can reference the condition must
-            // re-generate (the reference sweep re-derives them all).
-            for i in dead {
-                let op = self.it.op(i);
-                self.mark_cond_changed(ctx, op);
-            }
-        }
-        let dead: Vec<InstId> = ctx
+        let dead_done: Vec<InstId> = ctx
             .done
             .iter()
             .filter(|inst| {
@@ -1737,28 +1896,13 @@ impl<'a> Engine<'a> {
             })
             .copied()
             .collect();
-        if !dead.is_empty() {
-            {
-                let done = ctx.done_mut();
-                for i in &dead {
-                    done.remove(i);
-                }
-            }
-            // A pruned done entry un-blocks the instance's own
-            // generator (`gen_candidates` early-returns on done), so
-            // the op — its own first consumer — must re-generate.
-            for i in dead {
-                let op = self.it.op(i);
-                self.mark_op_changed(ctx, op);
-            }
-        }
         // Discharged loop-exit tokens die the same way `done` entries do:
         // once the exit pass's own iteration leaves the enumeration
         // domain no consumer can query it again, and a stale entry would
         // block folding. (Top-level passes have an empty loop path and
         // are never below the domain — they persist, identically in
         // every steady-state context.)
-        let dead: Vec<InstId> = ctx
+        let dead_discharged: Vec<InstId> = ctx
             .discharged
             .iter()
             .filter(|inst| {
@@ -1767,17 +1911,49 @@ impl<'a> Engine<'a> {
             })
             .copied()
             .collect();
-        if !dead.is_empty() {
+        if !dead_resolved.is_empty() {
+            {
+                let resolved = ctx.resolved_mut();
+                for i in &dead_resolved {
+                    resolved.remove(i);
+                }
+            }
+            // Un-recording a resolution resurrects the condition's
+            // literal as a free variable: chains that collapsed to
+            // FALSE under the old record become satisfiable again, so
+            // every guard that can reference the condition must
+            // re-generate (the reference sweep re-derives them all).
+            for i in dead_resolved {
+                let op = self.it.op(i);
+                self.mark_cond_changed(ctx, op);
+            }
+        }
+        if !dead_done.is_empty() {
+            {
+                let done = ctx.done_mut();
+                for i in &dead_done {
+                    done.remove(i);
+                }
+            }
+            // A pruned done entry un-blocks the instance's own
+            // generator (`gen_candidates` early-returns on done), so
+            // the op — its own first consumer — must re-generate.
+            for i in dead_done {
+                let op = self.it.op(i);
+                self.mark_op_changed(ctx, op);
+            }
+        }
+        if !dead_discharged.is_empty() {
             {
                 let discharged = ctx.discharged_mut();
-                for i in &dead {
+                for i in &dead_discharged {
                     discharged.remove(i);
                 }
             }
             // Discharge records feed `token()` settlement: dropping
             // one changes what the exit pass's order consumers (and
             // the pass itself) observe on the next generation.
-            for i in dead {
+            for i in dead_discharged {
                 let op = self.it.op(i);
                 self.mark_op_changed(ctx, op);
             }

@@ -80,12 +80,18 @@
 
 mod ctx;
 mod engine;
+mod fault;
+mod resilient;
 mod resolve;
 mod sig;
 
 pub use engine::{schedule, PhaseStat, PhaseTimers, SchedStats, ScheduleResult};
+pub use fault::{FaultPlan, FaultStats, Probe};
+pub use resilient::{schedule_resilient, AttemptRecord, Degradation, ResilientFailure};
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +115,49 @@ impl fmt::Display for Mode {
             Mode::SinglePath => write!(f, "single-path-spec"),
         }
     }
+}
+
+/// Cooperative cancellation token: a shared flag the scheduler polls
+/// at every state (tick) boundary. Cloning shares the flag, so a
+/// driver thread can hold one clone and cancel a schedule running on
+/// another thread; the engine returns [`SchedError::Cancelled`] at the
+/// next boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the
+    /// scheduler's next state boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Resource budget for one scheduling run, combining the hard
+/// iteration/state caps already in [`SchedConfig`] with a wall-clock
+/// deadline and a cooperative cancellation token. Both are checked at
+/// state (tick) boundaries — the granularity at which the worklist
+/// algorithm naturally quiesces — so neither imposes per-issue
+/// overhead.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock deadline in milliseconds, measured from engine
+    /// construction. Exceeding it aborts with
+    /// [`SchedError::Deadline`]. `None` disables the deadline.
+    pub deadline_ms: Option<u64>,
+    /// Cooperative cancellation token. When cancelled, the run aborts
+    /// with [`SchedError::Cancelled`] at the next state boundary.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Scheduler configuration.
@@ -137,6 +186,12 @@ pub struct SchedConfig {
     /// compare the two. Off by default (the incremental sweep is
     /// asymptotically cheaper and is the production path).
     pub reference_sweep: bool,
+    /// Wall-clock deadline and cooperative cancellation, layered on
+    /// top of the state/iteration caps above. Default: unlimited.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan (testing only). `None` — the
+    /// default — injects nothing and adds no per-boundary overhead.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SchedConfig {
@@ -149,6 +204,8 @@ impl SchedConfig {
             max_states: 2048,
             max_iterations: 100_000,
             reference_sweep: false,
+            budget: Budget::default(),
+            faults: None,
         }
     }
 }
@@ -167,6 +224,95 @@ pub enum SchedError {
     /// Carries a structured liveness report of what each blocked
     /// instance is waiting for.
     Stuck(StuckReport),
+    /// The wall-clock budget ([`Budget::deadline_ms`]) expired before
+    /// the schedule completed.
+    Deadline {
+        /// The budget that was exceeded, in milliseconds (0 for an
+        /// artificially injected exhaustion).
+        budget_ms: u64,
+    },
+    /// The run was cancelled through its [`CancelToken`].
+    Cancelled,
+    /// An engine or BDD invariant was violated — either a panic caught
+    /// at the [`schedule`] boundary, or a containment audit (gc
+    /// idempotence, dropped-sweep-event reference pass) detecting a
+    /// divergence a fault injection caused. One bad CDFG reports this
+    /// instead of taking down the whole batch.
+    Internal {
+        /// What failed, suitable for logging.
+        context: String,
+    },
+}
+
+impl SchedError {
+    /// Stable machine-readable tag for this error variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedError::StateLimit(_) => "state_limit",
+            SchedError::IterationLimit(_) => "iteration_limit",
+            SchedError::Stuck(_) => "stuck",
+            SchedError::Deadline { .. } => "deadline",
+            SchedError::Cancelled => "cancelled",
+            SchedError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether the degradation chain may retry after this error.
+    /// Everything is retryable except an explicit cancellation — the
+    /// caller asked the run to stop, so falling back would defy them.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, SchedError::Cancelled)
+    }
+
+    /// Serializes the error as a single JSON object (hand-rolled; the
+    /// workspace is dependency-free by design).
+    pub fn to_json(&self) -> String {
+        match self {
+            SchedError::StateLimit(n) => {
+                format!("{{\"kind\":\"state_limit\",\"limit\":{n}}}")
+            }
+            SchedError::IterationLimit(n) => {
+                format!("{{\"kind\":\"iteration_limit\",\"limit\":{n}}}")
+            }
+            SchedError::Stuck(r) => format!(
+                "{{\"kind\":\"stuck\",\"headline\":\"{}\",\"starved_classes\":[{}],\"blocked\":{}}}",
+                json_escape(&r.headline),
+                r.starved_classes
+                    .iter()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                r.blocked.len()
+            ),
+            SchedError::Deadline { budget_ms } => {
+                format!("{{\"kind\":\"deadline\",\"budget_ms\":{budget_ms}}}")
+            }
+            SchedError::Cancelled => "{\"kind\":\"cancelled\"}".to_string(),
+            SchedError::Internal { context } => {
+                format!(
+                    "{{\"kind\":\"internal\",\"context\":\"{}\"}}",
+                    json_escape(context)
+                )
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for SchedError {
@@ -175,6 +321,11 @@ impl fmt::Display for SchedError {
             SchedError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
             SchedError::IterationLimit(n) => write!(f, "iteration limit of {n} exceeded"),
             SchedError::Stuck(r) => write!(f, "scheduling deadlock: {}", r.headline),
+            SchedError::Deadline { budget_ms } => {
+                write!(f, "wall-clock budget of {budget_ms} ms exceeded")
+            }
+            SchedError::Cancelled => write!(f, "schedule cancelled"),
+            SchedError::Internal { context } => write!(f, "internal scheduler error: {context}"),
         }
     }
 }

@@ -243,6 +243,23 @@ impl BddManager {
         }
     }
 
+    /// Forces a wholesale eviction of both operation caches (ite and
+    /// cofactor), counted under the respective eviction counters. The
+    /// caches are pure memos over the hash-consed node store, so
+    /// flushing is semantically invisible — results recompute to
+    /// identical guards, only slower. Fault-injection probe: eviction
+    /// storms must never change a schedule.
+    pub fn flush_op_caches(&mut self) {
+        if !self.ite_cache.is_empty() {
+            self.ite_cache.clear();
+            self.stats.ite_evictions += 1;
+        }
+        if !self.cofactor_cache.is_empty() {
+            self.cofactor_cache.clear();
+            self.stats.cofactor_evictions += 1;
+        }
+    }
+
     /// Number of live (non-terminal) nodes, a proxy for memory usage.
     pub fn node_count(&self) -> usize {
         self.nodes.len() - 2

@@ -225,7 +225,7 @@ mod tests {
     use wavesched::{schedule, Mode, SchedConfig};
 
     fn gcd_rtl(mode: Mode) -> (RtlDesign, AreaReport) {
-        let w = workloads::gcd();
+        let w = workloads::gcd().unwrap();
         let probs = BranchProbs::new();
         let r = schedule(
             &w.cdfg,

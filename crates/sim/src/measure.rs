@@ -25,6 +25,50 @@ pub struct Measurement {
     pub mismatches: usize,
 }
 
+/// Why a measurement could not be produced. Mismatches against the
+/// golden model are *not* errors — they are counted in
+/// [`Measurement::mismatches`] so experiments can report them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// The STG simulator failed on one trace (cycle limit, missing
+    /// input, internal inconsistency). Scheduled STGs are
+    /// self-contained, so this indicates a scheduler bug — but it
+    /// should fail the one measurement, not the whole batch.
+    Sim {
+        /// The offending input vector, rendered for logging.
+        vector: String,
+        /// The simulator's error message.
+        detail: String,
+    },
+    /// The behavioral golden model failed on one trace (step limit or
+    /// an unsupported construct), so functional verification of that
+    /// vector is impossible.
+    Golden {
+        /// The offending input vector, rendered for logging.
+        vector: String,
+        /// The interpreter's error message.
+        detail: String,
+    },
+    /// No input vectors were supplied: the mean is undefined.
+    NoVectors,
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Sim { vector, detail } => {
+                write!(f, "simulation failed on {vector}: {detail}")
+            }
+            MeasureError::Golden { vector, detail } => {
+                write!(f, "golden model failed on {vector}: {detail}")
+            }
+            MeasureError::NoVectors => write!(f, "measure() needs at least one input vector"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Per-trace record: what one simulated run contributes to the
 /// aggregate, independent of every other trace.
 #[derive(Debug, Clone, Copy)]
@@ -41,24 +85,31 @@ fn run_trace(
     mem_init: &HashMap<String, Vec<Value>>,
     golden: Option<&hls_lang::Program>,
     cycle_limit: u64,
-) -> TraceResult {
+) -> Result<TraceResult, MeasureError> {
     let inputs: Vec<(&str, Value)> = vec.iter().map(|(n, v)| (n.as_str(), *v)).collect();
     let out = sim
         .run(&inputs, mem_init, cycle_limit)
-        .unwrap_or_else(|e| panic!("simulation failed on {vec:?}: {e}"));
+        .map_err(|e| MeasureError::Sim {
+            vector: format!("{vec:?}"),
+            detail: e.to_string(),
+        })?;
     let mut mismatch = false;
     if let Some(p) = golden {
         let image = hls_lang::MemImage {
             contents: mem_init.clone(),
         };
-        let want = hls_lang::interp::run(p, &inputs, &image, 10_000_000)
-            .unwrap_or_else(|e| panic!("golden model failed on {vec:?}: {e}"));
+        let want = hls_lang::interp::run(p, &inputs, &image, 10_000_000).map_err(|e| {
+            MeasureError::Golden {
+                vector: format!("{vec:?}"),
+                detail: e.to_string(),
+            }
+        })?;
         mismatch = want.outputs != out.outputs || want.mems != out.mems;
     }
-    TraceResult {
+    Ok(TraceResult {
         cycles: out.cycles,
         mismatch,
-    }
+    })
 }
 
 /// Simulates `stg` over every input vector, checking outputs and final
@@ -66,11 +117,12 @@ fn run_trace(
 /// provided. Equivalent to [`measure_with`] at the parallelism set by
 /// the `SPEC_MEASURE_THREADS` environment variable (default: serial).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a simulation fails ([`crate::SimError`]) — scheduled STGs
-/// are self-contained, so failures indicate scheduler bugs and must
-/// surface loudly in experiments.
+/// Returns [`MeasureError`] if a simulation or golden-model run fails —
+/// scheduled STGs are self-contained, so failures indicate scheduler
+/// bugs, but they fail this one measurement instead of panicking a
+/// whole batch run.
 pub fn measure(
     g: &Cdfg,
     stg: &Stg,
@@ -78,7 +130,7 @@ pub fn measure(
     mem_init: &HashMap<String, Vec<Value>>,
     golden: Option<&hls_lang::Program>,
     cycle_limit: u64,
-) -> Measurement {
+) -> Result<Measurement, MeasureError> {
     let parallelism = std::env::var("SPEC_MEASURE_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
@@ -92,14 +144,15 @@ pub fn measure(
 /// memory image is cloned per trace), so they fan out over
 /// `parallelism` scoped threads in contiguous chunks. Per-trace results
 /// are merged **in trace order**, so the result — including the
-/// floating-point mean — is bit-identical to the serial run for any
-/// worker count. `parallelism <= 1` takes the serial path with a single
-/// shared simulator; a worker panic (simulation or golden-model
-/// failure) propagates when the scope joins.
+/// floating-point mean and the choice of reported error when several
+/// traces fail — is bit-identical to the serial run for any worker
+/// count. `parallelism <= 1` takes the serial path with a single
+/// shared simulator.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`measure`].
+/// As [`measure`]; when several traces fail, the error of the earliest
+/// failing trace (in vector order) is returned.
 pub fn measure_with(
     g: &Cdfg,
     stg: &Stg,
@@ -108,16 +161,16 @@ pub fn measure_with(
     golden: Option<&hls_lang::Program>,
     cycle_limit: u64,
     parallelism: usize,
-) -> Measurement {
+) -> Result<Measurement, MeasureError> {
     let per_trace: Vec<TraceResult> = if parallelism <= 1 || vectors.len() <= 1 {
         let sim = StgSimulator::new(g, stg);
         vectors
             .iter()
             .map(|vec| run_trace(&sim, vec, mem_init, golden, cycle_limit))
-            .collect()
+            .collect::<Result<_, _>>()?
     } else {
         let chunk = vectors.len().div_ceil(parallelism);
-        let mut slots: Vec<Option<TraceResult>> = vec![None; vectors.len()];
+        let mut slots: Vec<Option<Result<TraceResult, MeasureError>>> = vec![None; vectors.len()];
         std::thread::scope(|s| {
             for (vs, out) in vectors.chunks(chunk).zip(slots.chunks_mut(chunk)) {
                 s.spawn(move || {
@@ -128,15 +181,16 @@ pub fn measure_with(
                 });
             }
         });
+        // Trace-order merge: the first error in vector order wins, no
+        // matter which worker hit it first on the wall clock.
         slots
             .into_iter()
             .map(|r| r.expect("every chunk worker fills its slots"))
-            .collect()
+            .collect::<Result<_, _>>()?
     };
-    assert!(
-        !per_trace.is_empty(),
-        "measure() needs at least one input vector"
-    );
+    if per_trace.is_empty() {
+        return Err(MeasureError::NoVectors);
+    }
     let mut total: u64 = 0;
     let mut best = u64::MAX;
     let mut worst = 0u64;
@@ -147,13 +201,13 @@ pub fn measure_with(
         worst = worst.max(t.cycles);
         mismatches += t.mismatch as usize;
     }
-    Measurement {
+    Ok(Measurement {
         mean_cycles: total as f64 / per_trace.len() as f64,
         best_cycles: best,
         worst_cycles: worst,
         runs: per_trace.len(),
         mismatches,
-    }
+    })
 }
 
 /// Profiles branch probabilities over the same vectors the measurement
@@ -208,7 +262,7 @@ mod tests {
                 &SchedConfig::new(mode),
             )
             .unwrap();
-            let m = measure(&g, &r.stg, &vectors, &HashMap::new(), Some(&p), 1_000_000);
+            let m = measure(&g, &r.stg, &vectors, &HashMap::new(), Some(&p), 1_000_000).unwrap();
             assert_eq!(m.mismatches, 0, "{mode}: functional equivalence");
             results.push(m);
         }
@@ -244,7 +298,7 @@ mod tests {
             &SchedConfig::new(Mode::Speculative),
         )
         .unwrap();
-        let m = measure(&g, &r.stg, &vectors, &HashMap::new(), Some(&p), 100_000);
+        let m = measure(&g, &r.stg, &vectors, &HashMap::new(), Some(&p), 100_000).unwrap();
         assert_eq!(m.mismatches, 0);
         let analytic = crate::markov::expected_cycles(&r.stg, &probs).unwrap();
         // The geometric-loop model approximates the fixed-n run; both

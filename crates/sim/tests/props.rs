@@ -53,9 +53,9 @@ props! {
         let mode = if mode { Mode::Speculative } else { Mode::NonSpeculative };
         let r = schedule(&g, &Library::dac98(), &alloc, &probs, &SchedConfig::new(mode)).unwrap();
         let mems = HashMap::new();
-        let serial = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, 1);
+        let serial = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, 1).unwrap();
         for workers in [2usize, 4] {
-            let par = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, workers);
+            let par = measure_with(&g, &r.stg, &vectors, &mems, Some(&p), 1_000_000, workers).unwrap();
             assert_eq!(serial, par, "{workers} workers diverge from serial");
             assert!(
                 serial.mean_cycles.to_bits() == par.mean_cycles.to_bits(),
@@ -83,9 +83,9 @@ props! {
         let g = hls_lang::lower::compile(&p).unwrap();
         let vectors = hls_sim::trace::positive_vectors(seed, &["n"], 6.0, 15, n);
         let mems = HashMap::new();
-        let serial = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, 1);
+        let serial = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, 1).unwrap();
         for workers in [2usize, 8, 64] {
-            let par = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, workers);
+            let par = measure_with(&g, &stg, &vectors, &mems, Some(&p), 100_000, workers).unwrap();
             assert_eq!(serial, par, "{workers} workers diverge on {n} traces");
         }
     }

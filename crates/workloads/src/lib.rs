@@ -18,9 +18,10 @@
 //! # Example
 //!
 //! ```
-//! let w = workloads::gcd();
+//! let w = workloads::gcd()?;
 //! assert_eq!(w.cdfg.name(), "gcd");
 //! assert_eq!(w.vectors(4).len(), 4);
+//! # Ok::<(), workloads::WorkloadError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -30,6 +31,50 @@ use cdfg::Cdfg;
 use hls_lang::Program;
 use hls_resources::{Allocation, FuClass, FuSpec, Library};
 use std::collections::HashMap;
+
+/// Why a workload could not be constructed or found. The bundled
+/// sources are compile-time constants, so [`WorkloadError::Parse`] and
+/// [`WorkloadError::Lower`] indicate a broken source tree — but they
+/// surface as values so batch drivers (benches, the `probe` CLI) can
+/// report one bad workload without panicking the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The behavioral source does not parse.
+    Parse {
+        /// Workload name.
+        name: String,
+        /// Parser error message.
+        detail: String,
+    },
+    /// The parsed program does not lower to a CDFG.
+    Lower {
+        /// Workload name.
+        name: String,
+        /// Lowering error message.
+        detail: String,
+    },
+    /// No workload with the requested name exists (see [`by_name`]).
+    Unknown {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Parse { name, detail } => {
+                write!(f, "workload `{name}` does not parse: {detail}")
+            }
+            WorkloadError::Lower { name, detail } => {
+                write!(f, "workload `{name}` does not lower: {detail}")
+            }
+            WorkloadError::Unknown { name } => write!(f, "unknown workload `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// A benchmark design bundled with everything an experiment needs.
 #[derive(Debug, Clone)]
@@ -68,12 +113,16 @@ impl Workload {
         seed: u64,
         sigma: f64,
         cap: i64,
-    ) -> Self {
-        let program = Program::parse(source)
-            .unwrap_or_else(|e| panic!("workload `{name}` does not parse: {e}"));
-        let cdfg = hls_lang::lower::compile(&program)
-            .unwrap_or_else(|e| panic!("workload `{name}` does not lower: {e}"));
-        Workload {
+    ) -> Result<Self, WorkloadError> {
+        let program = Program::parse(source).map_err(|e| WorkloadError::Parse {
+            name: name.to_string(),
+            detail: e.to_string(),
+        })?;
+        let cdfg = hls_lang::lower::compile(&program).map_err(|e| WorkloadError::Lower {
+            name: name.to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(Workload {
             name,
             source,
             program,
@@ -86,7 +135,7 @@ impl Workload {
             cap,
             cycle_limit: 1_000_000,
             spec_depth: 4,
-        }
+        })
     }
 
     /// `n` seeded input vectors (positive Gaussian magnitudes, capped).
@@ -97,7 +146,7 @@ impl Workload {
 }
 
 /// GCD (Fig. 13 of the paper): `while (a != b) { if (a > b) … }`.
-pub fn gcd() -> Workload {
+pub fn gcd() -> Result<Workload, WorkloadError> {
     Workload::build(
         "GCD",
         "design gcd {
@@ -123,7 +172,7 @@ pub fn gcd() -> Workload {
 
 /// Test1: the Fig. 1 `while (k > t4)` loop with the two-stage pipelined
 /// multiplier chain `t4 = M1[i]·C1·C2 + C3` and the `M2[i] = t4` store.
-pub fn test1() -> Workload {
+pub fn test1() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Test1",
         "design test1 {
@@ -152,21 +201,21 @@ pub fn test1() -> Workload {
         // below, so the loop runs ≈ k − 7 iterations; the cap keeps it
         // well inside the array.
         200,
-    );
+    )?;
     w.mem_init
         .insert("M1".into(), (0..256).map(|i| i as i64).collect());
     // The Fig. 2(b) steady state keeps ~8 loop iterations in flight
     // (one comparison per pipeline stage), so the speculation depth
     // must cover them.
     w.spec_depth = 9;
-    w
+    Ok(w)
 }
 
 /// Barcode reader (reconstructed): scans a 0/1 signal, measuring bar
 /// widths and counting bars/wide bars — nested conditionals inside a
 /// data-dependent loop, matching the documented control-intensive
 /// character.
-pub fn barcode() -> Workload {
+pub fn barcode() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Barcode",
         "design barcode {
@@ -202,7 +251,7 @@ pub fn barcode() -> Workload {
         303,
         20.0,
         31,
-    );
+    )?;
     // A plausible scan line: runs of 0s and 1s of varying width.
     w.mem_init.insert(
         "SIG".into(),
@@ -211,14 +260,14 @@ pub fn barcode() -> Workload {
             1, 1, 0,
         ],
     );
-    w
+    Ok(w)
 }
 
 /// Traffic light controller (reconstructed): a fixed-length timed loop
 /// switching phases when the timer reaches the phase's green time. Its
 /// cycle count is input-independent (best = worst = mean within each
 /// scheduler), the character the paper's TLC row shows.
-pub fn tlc() -> Workload {
+pub fn tlc() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "TLC",
         "design tlc {
@@ -250,17 +299,17 @@ pub fn tlc() -> Workload {
         404,
         8.0,
         15,
-    );
+    )?;
     // Three conditions per iteration: depth 3 speculates exactly one
     // iteration ahead, which is where TLC's benefit saturates; deeper
     // fronts multiply contexts without improving the recurrence bound.
     w.spec_depth = 3;
-    w
+    Ok(w)
 }
 
 /// Findmin: index and value of the minimum element of an array — one
 /// comparison-gated update per element.
-pub fn findmin() -> Workload {
+pub fn findmin() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Findmin",
         "design findmin {
@@ -286,19 +335,19 @@ pub fn findmin() -> Workload {
         505,
         10.0,
         16,
-    );
+    )?;
     w.mem_init.insert(
         "A".into(),
         vec![93, 27, 64, 11, 85, 42, 7, 58, 31, 99, 16, 73, 5, 88, 49, 22],
     );
-    w
+    Ok(w)
 }
 
 /// Findmin at N = 64: the same comparison-gated scan over a four-times
 /// larger array. Not part of [`all`] (which mirrors the paper's Table 1
 /// exactly); the scheduler bench uses it to stress state-count scaling
 /// of the fold index on a longer steady-state pipeline.
-pub fn findmin64() -> Workload {
+pub fn findmin64() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Findmin64",
         "design findmin64 {
@@ -323,11 +372,11 @@ pub fn findmin64() -> Workload {
         515,
         20.0,
         64,
-    );
+    )?;
     // Deterministic pseudo-shuffle with a unique minimum: A[60] = 0.
     w.mem_init
         .insert("A".into(), (0..64).map(|i| (i * 37 + 11) % 97).collect());
-    w
+    Ok(w)
 }
 
 /// Findmin at N = 1024: iteration counts far beyond the fold horizon.
@@ -336,7 +385,7 @@ pub fn findmin64() -> Workload {
 /// ready-list cost per issue must stay flat as the schedule executes
 /// many more folded iterations, so a superlinear sweep shows up here
 /// first. Bench-only; not part of [`all`].
-pub fn findmin1024() -> Workload {
+pub fn findmin1024() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Findmin1024",
         "design findmin1024 {
@@ -361,13 +410,13 @@ pub fn findmin1024() -> Workload {
         525,
         20.0,
         1024,
-    );
+    )?;
     // The stride pattern repeats mod 97, so shift it up by one and
     // carve a unique global minimum: A[600] = 0.
     let mut a: Vec<i64> = (0..1024).map(|i| (i * 37 + 11) % 97 + 1).collect();
     a[600] = 0;
     w.mem_init.insert("A".into(), a);
-    w
+    Ok(w)
 }
 
 /// Multi-loop Findmin: the minimum scan over `A` followed by a second
@@ -380,7 +429,7 @@ pub fn findmin1024() -> Workload {
 /// no serialization between the loops; [`findmin_shared_mem`] is the
 /// single-memory variant whose second loop is ordered after the first
 /// through the loop-exit token.
-pub fn findmin_two_pass() -> Workload {
+pub fn findmin_two_pass() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "FindminTwoPass",
         "design findmin2p {
@@ -415,7 +464,7 @@ pub fn findmin_two_pass() -> Workload {
         525,
         10.0,
         16,
-    );
+    )?;
     w.mem_init.insert(
         "A".into(),
         vec![93, 27, 64, 11, 85, 42, 7, 58, 31, 99, 16, 73, 5, 88, 49, 22],
@@ -424,7 +473,7 @@ pub fn findmin_two_pass() -> Workload {
         "B".into(),
         vec![14, 52, 9, 77, 3, 61, 18, 90, 12, 44, 70, 8, 33, 95, 26, 15],
     );
-    w
+    Ok(w)
 }
 
 /// Shared-memory two-pass Findmin: the minimum scan over `A` followed
@@ -435,7 +484,7 @@ pub fn findmin_two_pass() -> Workload {
 /// memory disambiguation across sequential loop horizons (the
 /// cross-loop deadlock fixed in the loop-exit token rework). Not part
 /// of [`all`]; lives under the `stress/` bench prefix.
-pub fn findmin_shared_mem() -> Workload {
+pub fn findmin_shared_mem() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "FindminSharedMem",
         "design findmin_shared {
@@ -469,22 +518,56 @@ pub fn findmin_shared_mem() -> Workload {
         535,
         10.0,
         16,
-    );
+    )?;
     w.mem_init.insert(
         "A".into(),
         vec![93, 27, 64, 11, 85, 42, 7, 58, 31, 99, 16, 73, 5, 88, 49, 22],
     );
-    w
+    Ok(w)
 }
 
 /// All five Table-1 workloads, in the paper's row order.
-pub fn all() -> Vec<Workload> {
-    vec![barcode(), gcd(), test1(), tlc(), findmin()]
+///
+/// # Errors
+///
+/// Fails if any bundled source no longer parses or lowers — see
+/// [`WorkloadError`].
+pub fn all() -> Result<Vec<Workload>, WorkloadError> {
+    Ok(vec![barcode()?, gcd()?, test1()?, tlc()?, findmin()?])
+}
+
+/// Looks a workload up by its Table-1 name (case-insensitive), covering
+/// every named design in this crate — the five [`all`] rows plus the
+/// bench/stress extras. This is the entry point for CLIs taking a
+/// user-supplied workload name.
+///
+/// # Errors
+///
+/// [`WorkloadError::Unknown`] for an unrecognized name; `Parse`/`Lower`
+/// if the bundled source is broken.
+pub fn by_name(name: &str) -> Result<Workload, WorkloadError> {
+    match name.to_ascii_lowercase().as_str() {
+        "gcd" => gcd(),
+        "test1" => test1(),
+        "barcode" => barcode(),
+        "tlc" => tlc(),
+        "findmin" => findmin(),
+        "findmin64" => findmin64(),
+        "findmin1024" => findmin1024(),
+        "findmintwopass" | "findmin_two_pass" => findmin_two_pass(),
+        "findminsharedmem" | "findmin_shared_mem" => findmin_shared_mem(),
+        "triangle" => triangle(),
+        "dspclip" | "dsp_clip" => dsp_clip(),
+        "fig4" => fig4(),
+        _ => Err(WorkloadError::Unknown {
+            name: name.to_string(),
+        }),
+    }
 }
 
 /// Extra stress design: nested data-dependent loops (not in the paper;
 /// exercises multi-level implicit unrolling).
-pub fn triangle() -> Workload {
+pub fn triangle() -> Result<Workload, WorkloadError> {
     Workload::build(
         "Triangle",
         "design triangle {
@@ -511,7 +594,7 @@ pub fn triangle() -> Workload {
 
 /// Extra stress design: a memory-to-memory DSP-style pipeline (clip and
 /// accumulate), used by the `dsp_loop_pipelining` example.
-pub fn dsp_clip() -> Workload {
+pub fn dsp_clip() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "DspClip",
         "design dsp_clip {
@@ -537,7 +620,7 @@ pub fn dsp_clip() -> Workload {
         707,
         6.0,
         16,
-    );
+    )?;
     // Two conditions (clip-low, clip-high) plus the loop continue per
     // iteration: depth 3 covers one iteration of speculation; deeper
     // fronts multiply clip-combination contexts without improving the
@@ -547,14 +630,14 @@ pub fn dsp_clip() -> Workload {
         "X".into(),
         vec![5, -9, 14, 2, 30, -4, 8, 21, -17, 3, 12, 26, -1, 9, 18, 0],
     );
-    w
+    Ok(w)
 }
 
 /// The Fig. 4 example CDFG of the paper (Examples 2/3, Figs. 5–7): an
 /// increment feeding a comparison that steers an adder-vs-adder/shifter
 /// choice into a multiplier. All units are single-cycle, as the paper
 /// assumes for this example.
-pub fn fig4() -> Workload {
+pub fn fig4() -> Result<Workload, WorkloadError> {
     let mut w = Workload::build(
         "Fig4",
         "design fig4 {
@@ -569,9 +652,9 @@ pub fn fig4() -> Workload {
         808,
         3.0,
         7,
-    );
+    )?;
     w.library = fig4_library();
-    w
+    Ok(w)
 }
 
 /// Fig. 4's library: every unit single-cycle (including the multiplier),
@@ -606,13 +689,13 @@ mod tests {
 
     #[test]
     fn all_workloads_compile_and_execute() {
-        for w in all().into_iter().chain([
-            triangle(),
-            dsp_clip(),
-            fig4(),
-            findmin64(),
-            findmin_two_pass(),
-            findmin_shared_mem(),
+        for w in all().unwrap().into_iter().chain([
+            triangle().unwrap(),
+            dsp_clip().unwrap(),
+            fig4().unwrap(),
+            findmin64().unwrap(),
+            findmin_two_pass().unwrap(),
+            findmin_shared_mem().unwrap(),
         ]) {
             let vectors = w.vectors(3);
             assert_eq!(vectors.len(), 3, "{}", w.name);
@@ -629,13 +712,13 @@ mod tests {
 
     #[test]
     fn interpreters_agree_on_all_workloads() {
-        for w in all().into_iter().chain([
-            triangle(),
-            dsp_clip(),
-            fig4(),
-            findmin64(),
-            findmin_two_pass(),
-            findmin_shared_mem(),
+        for w in all().unwrap().into_iter().chain([
+            triangle().unwrap(),
+            dsp_clip().unwrap(),
+            fig4().unwrap(),
+            findmin64().unwrap(),
+            findmin_two_pass().unwrap(),
+            findmin_shared_mem().unwrap(),
         ]) {
             for v in w.vectors(3) {
                 let inputs: Vec<(&str, i64)> = v.iter().map(|(n, x)| (n.as_str(), *x)).collect();
@@ -653,7 +736,7 @@ mod tests {
 
     #[test]
     fn gcd_matches_euclid() {
-        let w = gcd();
+        let w = gcd().unwrap();
         fn euclid(mut a: i64, mut b: i64) -> i64 {
             while b != 0 {
                 let t = a % b;
@@ -676,7 +759,7 @@ mod tests {
 
     #[test]
     fn findmin_finds_minimum() {
-        let w = findmin();
+        let w = findmin().unwrap();
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
         };
@@ -687,7 +770,7 @@ mod tests {
 
     #[test]
     fn findmin64_finds_unique_zero_minimum() {
-        let w = findmin64();
+        let w = findmin64().unwrap();
         assert_eq!(w.mem_init["A"].len(), 64);
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
@@ -699,7 +782,7 @@ mod tests {
 
     #[test]
     fn findmin1024_finds_unique_zero_minimum() {
-        let w = findmin1024();
+        let w = findmin1024().unwrap();
         let a = &w.mem_init["A"];
         assert_eq!(a.len(), 1024);
         assert_eq!(a.iter().filter(|&&v| v == 0).count(), 1);
@@ -713,7 +796,7 @@ mod tests {
 
     #[test]
     fn findmin_two_pass_counts_near_minimum() {
-        let w = findmin_two_pass();
+        let w = findmin_two_pass().unwrap();
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
         };
@@ -728,7 +811,7 @@ mod tests {
 
     #[test]
     fn findmin_shared_mem_counts_near_minimum_in_same_memory() {
-        let w = findmin_shared_mem();
+        let w = findmin_shared_mem().unwrap();
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
         };
@@ -745,7 +828,7 @@ mod tests {
     fn tlc_is_input_independent_in_iteration_count() {
         // Different green times change `switches` but the loop runs a
         // fixed 100 iterations either way.
-        let w = tlc();
+        let w = tlc().unwrap();
         let a = hls_lang::interp::run(
             &w.program,
             &[("g1", 3), ("g2", 5)],
@@ -768,7 +851,7 @@ mod tests {
 
     #[test]
     fn test1_terminates_within_cap() {
-        let w = test1();
+        let w = test1().unwrap();
         let image = hls_lang::MemImage {
             contents: w.mem_init.clone(),
         };
@@ -782,7 +865,8 @@ mod tests {
 
     #[test]
     fn table2_allocations_match_paper() {
-        let by_name: HashMap<&str, Workload> = all().into_iter().map(|w| (w.name, w)).collect();
+        let by_name: HashMap<&str, Workload> =
+            all().unwrap().into_iter().map(|w| (w.name, w)).collect();
         let gcd = &by_name["GCD"].allocation;
         assert!(gcd.limit(FuClass::Subtracter).allows(1));
         assert!(!gcd.limit(FuClass::Subtracter).allows(2));

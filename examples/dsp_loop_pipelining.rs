@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use wavesched::{schedule, Mode, SchedConfig};
 
 fn main() {
-    let w = workloads::dsp_clip();
+    let w = workloads::dsp_clip().unwrap();
     let vectors = w.vectors(20);
     let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
     let probs = profile(&w.cdfg, &vectors, &mem);
@@ -26,7 +26,8 @@ fn main() {
             &mem,
             Some(&w.program),
             w.cycle_limit,
-        );
+        )
+        .unwrap();
         let d = rtl_synth::synthesize(&w.cdfg, &r.stg);
         let a = rtl_synth::area(&d, &w.library);
         println!("=== {mode} ===");

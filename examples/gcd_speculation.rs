@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use wavesched::{schedule, Mode, SchedConfig};
 
 fn main() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let vectors = w.vectors(40);
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
     let probs = profile(&w.cdfg, &vectors, &mem);
@@ -27,7 +27,7 @@ fn main() {
             &SchedConfig::new(mode),
         )
         .expect("GCD schedules");
-        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000);
+        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000).unwrap();
         println!("=== {mode} ===");
         println!(
             "E.N.C. {:.1}   #states {}   best {}   worst {}   (verified on {} traces)",

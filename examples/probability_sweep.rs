@@ -8,7 +8,7 @@ use cdfg::analysis::BranchProbs;
 use wavesched::{schedule, Mode, SchedConfig};
 
 fn main() {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let cond = w
         .cdfg
         .ops()

@@ -20,8 +20,24 @@ fi
 echo "== cargo build --release --offline"
 cargo build --release --offline
 
-echo "== cargo test -q --offline"
-cargo test -q --offline
+echo "== cargo test -q --offline (wall-clock capped)"
+# Failure containment must extend to the harness itself: a livelocked
+# scheduler (the class of bug the budget/cancellation machinery exists
+# for) should fail the gate in bounded time, not hang it. The cap is
+# generous — the full suite runs in a few minutes.
+SPEC_TEST_TIMEOUT="${SPEC_TEST_TIMEOUT:-1800}"
+if command -v timeout >/dev/null 2>&1; then
+    timeout --signal=KILL "$SPEC_TEST_TIMEOUT" cargo test -q --offline \
+        || { echo "tests failed or exceeded ${SPEC_TEST_TIMEOUT}s"; exit 1; }
+else
+    cargo test -q --offline
+fi
+
+echo "== fault-injection smoke (SPEC_FAULT_CASES=24)"
+# The full 256-case property already ran inside `cargo test`; this gate
+# re-runs a small sweep explicitly so a future edit that deletes or
+# skips the property is caught here, not silently.
+SPEC_FAULT_CASES=24 cargo test -q --offline -p integration --test fault_injection
 
 echo "== cargo clippy --offline --all-targets -- -D warnings"
 if cargo clippy --version >/dev/null 2>&1; then

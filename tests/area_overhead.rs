@@ -6,7 +6,7 @@ use wavesched::{schedule, Mode, SchedConfig};
 
 #[test]
 fn gcd_area_overhead_is_small() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let mut totals = Vec::new();
     for mode in [Mode::NonSpeculative, Mode::Speculative] {
         let r = schedule(
@@ -33,7 +33,7 @@ fn gcd_area_overhead_is_small() {
 fn datapath_grows_with_allocation() {
     // Fig. 5(c)'s two-adder allocation must produce a larger datapath
     // than the one-adder schedules when both adders are exercised.
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let mut areas = Vec::new();
     for adders in [1u32, 2] {
         let r = schedule(

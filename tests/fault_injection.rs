@@ -1,0 +1,233 @@
+//! Deterministic fault-injection property: for every seeded fault plan,
+//! scheduling under injection either returns a schedule **byte-identical**
+//! to the clean run (the faults hit redundancies the engine must
+//! tolerate) or a **structured** [`SchedError`] — never a panic escaping
+//! [`wavesched::schedule`], never a silently divergent schedule. The
+//! same dichotomy, lifted through the degradation chain, must hold for
+//! [`wavesched::schedule_resilient`].
+//!
+//! Case count defaults to 256 and is overridable with
+//! `SPEC_FAULT_CASES` (the CI smoke gate runs a small count; local
+//! soaks can run thousands).
+
+use std::collections::HashMap;
+
+use hls_lang::Program;
+use hls_resources::{Allocation, FuClass, Library};
+use spec_support::rng::{RngCore, SplitMix64};
+use wavesched::{schedule, schedule_resilient, FaultPlan, Mode, Probe, SchedConfig, SchedError};
+
+/// Suppresses the default panic-hook backtrace spew for panics the
+/// engine is *expected* to catch (injected faults), forwarding
+/// everything else to the previous hook.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected fault") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Small branchy/loopy program family (same shape as the
+/// `random_programs` soak, with a short fixed trip count so hundreds of
+/// cases stay fast).
+fn program_source(variant: u64) -> String {
+    let mut r = SplitMix64::new(variant.wrapping_add(23));
+    let ops = ["+", "-", "^"];
+    let cmps = ["<", ">", "<=", ">=", "==", "!="];
+    let mut body = String::new();
+    for v in ["a", "b"] {
+        let op = ops[(r.next_u64() % 3) as usize];
+        let operand = ["x", "y", "i", "3"][(r.next_u64() % 4) as usize];
+        let cmp = cmps[(r.next_u64() % 6) as usize];
+        let lhs = ["a", "b", "i"][(r.next_u64() % 3) as usize];
+        let rhs = ["x", "y", "5"][(r.next_u64() % 3) as usize];
+        let alt = ops[(r.next_u64() % 3) as usize];
+        body.push_str(&format!(
+            "if ({lhs} {cmp} {rhs}) {{ {v} = {v} {op} {operand}; }} else {{ {v} = {v} {alt} 1; }}\n"
+        ));
+    }
+    format!(
+        "design f{variant} {{
+            input x, y;
+            output oa, ob;
+            var a = x;
+            var b = y;
+            var i = 0;
+            while (i < 3) {{
+                {body}
+                i = i + 1;
+            }}
+            oa = a; ob = b;
+        }}"
+    )
+}
+
+const VARIANTS: u64 = 8;
+
+fn alloc() -> Allocation {
+    Allocation::new()
+        .with(FuClass::Adder, 2)
+        .with(FuClass::Subtracter, 2)
+        .with(FuClass::Logic, 4)
+        .with(FuClass::Comparator, 2)
+        .with(FuClass::EqComparator, 2)
+        .with(FuClass::Incrementer, 2)
+}
+
+/// Derives the fault plan for one case: seeded period 1–4, a non-empty
+/// random probe subset (panic included — containment must hold for it).
+fn fault_plan(case: u64) -> FaultPlan {
+    let mut r = SplitMix64::new(case ^ 0xfaa7_1337);
+    let period = 1 + r.next_u64() % 4;
+    let mut probes: Vec<Probe> = Probe::ALL
+        .iter()
+        .copied()
+        .filter(|_| r.next_u64().is_multiple_of(2))
+        .collect();
+    if probes.is_empty() {
+        probes.push(Probe::ALL[(r.next_u64() % 6) as usize]);
+    }
+    FaultPlan::new(case).with_period(period).with_probes(probes)
+}
+
+#[test]
+fn injected_faults_never_panic_and_never_diverge() {
+    quiet_injected_panics();
+    let cases: u64 = std::env::var("SPEC_FAULT_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let lib = Library::dac98();
+    let alloc = alloc();
+    let modes = [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative];
+
+    // Clean baselines, one per (program variant, mode) — the oracle the
+    // faulted runs must reproduce byte-for-byte when they succeed.
+    let mut cdfgs = Vec::new();
+    for variant in 0..VARIANTS {
+        let src = program_source(variant);
+        let p = Program::parse(&src).unwrap_or_else(|e| panic!("variant {variant}: {e}\n{src}"));
+        cdfgs.push(hls_lang::lower::compile(&p).unwrap());
+    }
+    let mut clean: HashMap<(u64, Mode), String> = HashMap::new();
+    for (variant, g) in cdfgs.iter().enumerate() {
+        for mode in modes {
+            let mut cfg = SchedConfig::new(mode);
+            cfg.max_spec_depth = 3;
+            let r = schedule(g, &lib, &alloc, &Default::default(), &cfg)
+                .unwrap_or_else(|e| panic!("clean variant {variant} / {mode}: {e}"));
+            clean.insert((variant as u64, mode), format!("{:?}", r.stg));
+        }
+    }
+
+    let mut identical = 0u64;
+    let mut contained = 0u64;
+    let mut faults_fired = 0u64;
+    for case in 0..cases {
+        let variant = case % VARIANTS;
+        let mode = modes[(case / VARIANTS) as usize % modes.len()];
+        let g = &cdfgs[variant as usize];
+        let oracle = &clean[&(variant, mode)];
+        let mut cfg = SchedConfig::new(mode);
+        cfg.max_spec_depth = 3;
+        cfg.faults = Some(fault_plan(case));
+
+        match schedule(g, &lib, &alloc, &Default::default(), &cfg) {
+            Ok(r) => {
+                assert_eq!(
+                    &format!("{:?}", r.stg),
+                    oracle,
+                    "case {case} (variant {variant} / {mode}, plan {:?}): \
+                     faulted run silently diverged from the clean schedule",
+                    cfg.faults
+                );
+                faults_fired += r.stats.faults.total();
+                identical += 1;
+            }
+            Err(e) => {
+                // Structured failure: a stable kind and valid JSON.
+                assert!(
+                    [
+                        "state_limit",
+                        "iteration_limit",
+                        "stuck",
+                        "deadline",
+                        "cancelled",
+                        "internal"
+                    ]
+                    .contains(&e.kind()),
+                    "case {case}: unknown error kind {:?}",
+                    e.kind()
+                );
+                let j = e.to_json();
+                assert!(
+                    j.starts_with("{\"kind\":\"") && j.ends_with('}'),
+                    "case {case}: malformed error JSON {j}"
+                );
+                // Injected aborts must map to their documented variants.
+                if let SchedError::Internal { context } = &e {
+                    assert!(
+                        context.contains("injected fault")
+                            || context.contains("audit")
+                            || context.contains("sweep"),
+                        "case {case}: unexplained internal error: {context}"
+                    );
+                }
+                contained += 1;
+            }
+        }
+
+        // The degradation chain sees the same plan on every attempt:
+        // success at full knobs must still match the oracle; failure
+        // must carry the whole attempt record. A chain costs up to four
+        // engine runs, so sample every fourth case (still 64 chains at
+        // the default count).
+        if case % 4 != 0 {
+            continue;
+        }
+        match schedule_resilient(g, &lib, &alloc, &Default::default(), &cfg) {
+            Ok((r, d)) => {
+                assert!(r.stats.attempts >= 1, "case {case}: attempts not recorded");
+                assert_eq!(r.stats.attempts as usize, d.attempts.len());
+                if !d.degraded() {
+                    assert_eq!(
+                        &format!("{:?}", r.stg),
+                        oracle,
+                        "case {case}: undegraded resilient run diverged"
+                    );
+                }
+            }
+            Err(f) => {
+                assert!(
+                    !f.degradation.attempts.is_empty(),
+                    "case {case}: terminal failure without attempt records"
+                );
+                assert_eq!(
+                    f.degradation.attempts.last().unwrap().error.as_ref(),
+                    Some(&f.error),
+                    "case {case}: terminal error must be the last attempt's"
+                );
+            }
+        }
+    }
+
+    // The property must not pass vacuously: across the whole sweep some
+    // runs survived injection byte-identically, some were contained as
+    // structured errors, and faults actually fired.
+    assert!(identical > 0, "no faulted run survived byte-identically");
+    assert!(contained > 0, "no faulted run was contained as an error");
+    assert!(faults_fired > 0, "no faults fired in surviving runs");
+}

@@ -7,7 +7,11 @@ use wavesched::{schedule, Mode, SchedConfig};
 
 #[test]
 fn three_way_equivalence_on_all_workloads() {
-    for w in workloads::all().into_iter().chain([workloads::dsp_clip()]) {
+    for w in workloads::all()
+        .unwrap()
+        .into_iter()
+        .chain([workloads::dsp_clip().unwrap()])
+    {
         let vectors = w.vectors(8);
         let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
         let probs = hls_sim::profile(&w.cdfg, &vectors, &mem);
@@ -38,7 +42,7 @@ fn three_way_equivalence_on_all_workloads() {
 
 #[test]
 fn equivalence_holds_in_every_mode_on_gcd_corner_cases() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
         let r = schedule(
             &w.cdfg,

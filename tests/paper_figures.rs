@@ -14,7 +14,7 @@ fn fig4_cond(g: &cdfg::Cdfg) -> cdfg::OpId {
 }
 
 fn build_fig4(adders: u32, p: f64, mode: Mode) -> (workloads::Workload, ScheduleResult) {
-    let w = workloads::fig4();
+    let w = workloads::fig4().unwrap();
     let mut probs = BranchProbs::new();
     probs.set(fig4_cond(&w.cdfg), p);
     let r = schedule(
@@ -38,7 +38,7 @@ fn enc(w: &workloads::Workload, r: &ScheduleResult, p: f64) -> f64 {
 /// loop to one cycle per iteration; the baseline needs several.
 #[test]
 fn fig2_steady_state_cycles_per_iteration() {
-    let w = workloads::test1();
+    let w = workloads::test1().unwrap();
     let mem = w.mem_init.clone();
     let mut per_iter = Vec::new();
     for mode in [Mode::NonSpeculative, Mode::Speculative] {

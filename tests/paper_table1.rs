@@ -10,7 +10,7 @@ use wavesched::Mode;
 #[test]
 fn table1_shape() {
     let mut rows = Vec::new();
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         let ws = run_workload(&w, Mode::NonSpeculative, 15);
         let sp = run_workload(&w, Mode::Speculative, 15);
         // Functional correctness is asserted inside run_workload.
@@ -47,7 +47,7 @@ fn table1_shape() {
 fn analytic_enc_confirms_simulated_ordering() {
     // The Markov analysis (independent of the simulator) agrees that
     // speculation wins on GCD.
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let ws = run_workload(&w, Mode::NonSpeculative, 15);
     let sp = run_workload(&w, Mode::Speculative, 15);
     let (Some(a_ws), Some(a_sp)) = (ws.analytic, sp.analytic) else {

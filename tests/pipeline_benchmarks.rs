@@ -22,14 +22,15 @@ fn check(w: &Workload, mode: Mode, runs: usize) -> f64 {
         &mem,
         Some(&w.program),
         w.cycle_limit,
-    );
+    )
+    .unwrap();
     assert_eq!(m.mismatches, 0, "{} / {mode}: wrong results", w.name);
     m.mean_cycles
 }
 
 #[test]
 fn all_benchmarks_verify_in_both_table1_modes() {
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         let ws = check(&w, Mode::NonSpeculative, 10);
         let spec = check(&w, Mode::Speculative, 10);
         assert!(
@@ -46,7 +47,7 @@ fn speedup_shape_matches_table1() {
     // substantially; TLC (resource-starved, timing-deterministic) shows
     // essentially no benefit; Test1 shows the largest gain.
     let mut speedups: HashMap<&'static str, f64> = HashMap::new();
-    for w in workloads::all() {
+    for w in workloads::all().unwrap() {
         let ws = check(&w, Mode::NonSpeculative, 10);
         let spec = check(&w, Mode::Speculative, 10);
         speedups.insert(w.name, ws / spec);
@@ -86,7 +87,7 @@ fn stress_designs_verify() {
     // stress case only: nested data-dependent loops are outside the
     // scheduler's supported envelope (the paper's evaluation contains
     // none), and the engine reports an error rather than mis-scheduling.
-    let w = workloads::dsp_clip();
+    let w = workloads::dsp_clip().unwrap();
     for mode in [Mode::NonSpeculative, Mode::Speculative] {
         check(&w, mode, 6);
     }
@@ -95,7 +96,7 @@ fn stress_designs_verify() {
 #[test]
 fn nested_loops_error_loudly_not_silently() {
     use wavesched::SchedError;
-    let w = workloads::triangle();
+    let w = workloads::triangle().unwrap();
     let mut cfg = SchedConfig::new(Mode::Speculative);
     cfg.max_spec_depth = w.spec_depth;
     cfg.max_states = 512;

@@ -8,7 +8,7 @@ use wavesched::{schedule, Mode, SchedConfig};
 
 #[test]
 fn gcd_full_pipeline_all_modes() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let vectors = w.vectors(30);
     let mem: HashMap<String, Vec<i64>> = HashMap::new();
     let probs = profile(&w.cdfg, &vectors, &mem);
@@ -24,7 +24,7 @@ fn gcd_full_pipeline_all_modes() {
         )
         .unwrap();
         assert_eq!(r.stg.check(), Ok(()), "{mode}: structurally sound");
-        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000);
+        let m = measure(&w.cdfg, &r.stg, &vectors, &mem, Some(&w.program), 1_000_000).unwrap();
         assert_eq!(m.mismatches, 0, "{mode}: functional equivalence");
         encs.push((mode, m.mean_cycles, m.best_cycles, m.worst_cycles));
     }
@@ -46,7 +46,7 @@ fn gcd_full_pipeline_all_modes() {
 
 #[test]
 fn gcd_speculative_matches_reference_gcd_on_directed_cases() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let r = schedule(
         &w.cdfg,
         &w.library,
@@ -83,7 +83,7 @@ fn gcd_speculative_matches_reference_gcd_on_directed_cases() {
 
 #[test]
 fn gcd_rename_edges_fold_the_loop() {
-    let w = workloads::gcd();
+    let w = workloads::gcd().unwrap();
     let r = schedule(
         &w.cdfg,
         &w.library,

@@ -12,7 +12,7 @@ use wavesched::{schedule, Mode, SchedConfig};
 
 #[test]
 fn shared_memory_loops_schedule_in_all_modes() {
-    let w = workloads::findmin_shared_mem();
+    let w = workloads::findmin_shared_mem().unwrap();
     for mode in [Mode::NonSpeculative, Mode::Speculative, Mode::SinglePath] {
         let mut cfg = SchedConfig::new(mode);
         cfg.max_spec_depth = w.spec_depth;
@@ -31,7 +31,7 @@ fn shared_memory_loops_schedule_in_all_modes() {
 
 #[test]
 fn shared_memory_schedule_matches_interpreter() {
-    let w = workloads::findmin_shared_mem();
+    let w = workloads::findmin_shared_mem().unwrap();
     let mem: HashMap<String, Vec<i64>> = w.mem_init.clone();
     for mode in [Mode::NonSpeculative, Mode::Speculative] {
         let mut cfg = SchedConfig::new(mode);
@@ -66,7 +66,7 @@ fn shared_memory_schedule_matches_interpreter() {
 fn shared_memory_serializes_port_access() {
     // No state may issue two accesses to the single-ported `A`, even
     // across the two loops' overlapping pipelines.
-    let w = workloads::findmin_shared_mem();
+    let w = workloads::findmin_shared_mem().unwrap();
     let mut cfg = SchedConfig::new(Mode::Speculative);
     cfg.max_spec_depth = w.spec_depth;
     let r = schedule(

@@ -8,8 +8,9 @@ use wavesched::{schedule, Mode, SchedConfig};
 #[test]
 fn every_workload_schedule_is_dataflow_sound() {
     for w in workloads::all()
+        .unwrap()
         .into_iter()
-        .chain([workloads::dsp_clip(), workloads::fig4()])
+        .chain([workloads::dsp_clip().unwrap(), workloads::fig4().unwrap()])
     {
         for mode in [Mode::NonSpeculative, Mode::SinglePath, Mode::Speculative] {
             let mut cfg = SchedConfig::new(mode);
